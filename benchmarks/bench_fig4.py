@@ -1,0 +1,74 @@
+"""Fig. 4: bandwidth breakdown and coalesce rate (6 matrices x 5
+variants, SELL)."""
+
+import pytest
+
+from repro.experiments.fig4 import run_fig4
+
+from conftest import record
+
+
+@pytest.fixture(scope="module")
+def fig4_result():
+    return run_fig4()
+
+
+def test_fig4_full_grid(benchmark, fig4_result):
+    result = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+    record(benchmark, "fig4", result)
+    assert len(result["rows"]) == 6 * 5
+    summary = result["summary"]
+    # Headline paper claims (see module docstring).
+    assert summary["af_shell10_mlp256_index_gbps"] > 10.0  # paper 13.2
+    assert summary["seq256_mean_index_gbps"] <= 4.2  # paper ~4
+    # The large window makes every fetched element byte useful more
+    # than once on average (MLPnc is pinned at 8/64 = 0.125).
+    assert summary["mlp256_mean_coal_rate"] > 1.0
+
+
+def test_fig4_bandwidth_identity(fig4_result):
+    """elem + index + loss must equal the 32 GB/s channel peak."""
+    for row in fig4_result["rows"]:
+        total = row["elem_gbps"] + row["index_gbps"] + row["loss_gbps"]
+        assert total == pytest.approx(32.0, abs=0.05)
+
+
+def test_fig4_mlpnc_element_fetch_dominates(fig4_result):
+    """Paper: without a coalescer, element fetching monopolises the
+    channel and squeezes out index fetching."""
+    for row in fig4_result["rows"]:
+        if row["variant"] == "MLPnc":
+            assert row["elem_gbps"] > 6 * row["index_gbps"]
+
+
+def test_fig4_coal_rate_grows_with_window(fig4_result):
+    for matrix in {r["matrix"] for r in fig4_result["rows"]}:
+        rates = {
+            r["variant"]: r["coal_rate"]
+            for r in fig4_result["rows"]
+            if r["matrix"] == matrix
+        }
+        assert rates["MLPnc"] <= rates["MLP16"] <= rates["MLP64"] * 1.01
+        assert rates["MLP64"] <= rates["MLP256"] * 1.01
+
+
+def test_fig4_seq_same_coal_rate_less_index_bw(fig4_result):
+    """Paper: SEQ256 reaches the MLP256 coalesce rate but its index
+    fetch bandwidth is capped near 4 GB/s (one request per cycle)."""
+    for matrix in {r["matrix"] for r in fig4_result["rows"]}:
+        rows = {r["variant"]: r for r in fig4_result["rows"] if r["matrix"] == matrix}
+        assert rows["SEQ256"]["coal_rate"] == pytest.approx(
+            rows["MLP256"]["coal_rate"], rel=0.1
+        )
+        assert rows["SEQ256"]["index_gbps"] <= 4.2
+
+
+def test_fig4_af_shell10_index_fetch_surges(fig4_result):
+    """Paper: af_shell10 at MLP256 fetches indices at ~13 GB/s,
+    i.e. >3 coalesced requests generated per cycle."""
+    row = next(
+        r
+        for r in fig4_result["rows"]
+        if r["matrix"] == "af_shell10" and r["variant"] == "MLP256"
+    )
+    assert row["index_gbps"] > 10.0

@@ -1,0 +1,61 @@
+"""Fig. 5a: end-to-end SpMV runtime on base/pack0/pack64/pack256."""
+
+import pytest
+
+from repro.experiments.fig5a import run_fig5a
+
+from conftest import record
+
+
+@pytest.fixture(scope="module")
+def fig5a_result():
+    return run_fig5a()
+
+
+def test_fig5a_full_grid(benchmark, fig5a_result):
+    result = benchmark.pedantic(run_fig5a, rounds=1, iterations=1)
+    record(benchmark, "fig5a", result)
+    assert len(result["rows"]) == 6 * 4
+    summary = result["summary"]
+    # Headline paper claims (pack0 ~2.7x, pack256 ~10x, ratio ~3x).
+    assert 1.5 <= summary["pack0_speedup_geomean"] <= 4.0
+    assert 6.0 <= summary["pack256_speedup_geomean"] <= 14.0
+    assert 2.0 <= summary["pack256_vs_pack0"] <= 5.0
+
+
+def test_fig5a_pack0_speedup_over_base(fig5a_result):
+    """Paper: pack0 averages ~2.7x over the base system."""
+    speedup = fig5a_result["summary"]["pack0_speedup_geomean"]
+    assert 1.5 <= speedup <= 4.0
+
+
+def test_fig5a_pack256_speedup_over_base(fig5a_result):
+    """Paper: pack256 averages ~10x over the base system."""
+    speedup = fig5a_result["summary"]["pack256_speedup_geomean"]
+    assert 6.0 <= speedup <= 14.0
+
+
+def test_fig5a_pack256_over_pack0_near_3x(fig5a_result):
+    ratio = fig5a_result["summary"]["pack256_vs_pack0"]
+    assert 2.0 <= ratio <= 5.0
+
+
+def test_fig5a_speedup_monotone_in_window(fig5a_result):
+    for matrix in {r["matrix"] for r in fig5a_result["rows"]}:
+        rows = {r["system"]: r for r in fig5a_result["rows"] if r["matrix"] == matrix}
+        assert (
+            rows["pack0"]["speedup_vs_base"]
+            <= rows["pack64"]["speedup_vs_base"] * 1.01
+            <= rows["pack256"]["speedup_vs_base"] * 1.02
+        )
+
+
+def test_fig5a_indirect_time_shrinks(fig5a_result):
+    """The coalescer's point: indirect access stops dominating."""
+    for matrix in {r["matrix"] for r in fig5a_result["rows"]}:
+        rows = {r["system"]: r for r in fig5a_result["rows"] if r["matrix"] == matrix}
+        indir0 = rows["pack0"]["indir_fraction"] * rows["pack0"]["runtime_cycles"]
+        indir256 = (
+            rows["pack256"]["indir_fraction"] * rows["pack256"]["runtime_cycles"]
+        )
+        assert indir256 < 0.6 * indir0

@@ -1,0 +1,62 @@
+"""Fig. 5b: off-chip traffic and HBM bandwidth utilization."""
+
+import pytest
+
+from repro.experiments.fig5b import run_fig5b
+
+from conftest import record
+
+
+@pytest.fixture(scope="module")
+def fig5b_result():
+    return run_fig5b()
+
+
+def test_fig5b_full_grid(benchmark, fig5b_result):
+    result = benchmark.pedantic(run_fig5b, rounds=1, iterations=1)
+    record(benchmark, "fig5b", result)
+    assert len(result["rows"]) == 6 * 4
+    summary = result["summary"]
+    # Headline paper claims (base ~5.9 % min util, pack0 ~5.6x traffic
+    # at ~66 % util, pack256 ~1.29x traffic at ~61 % util).
+    assert summary["base_util_min_pct"] <= 10.0
+    assert 4.0 <= summary["pack0_traffic_vs_ideal_mean"] <= 7.0
+    assert summary["pack256_traffic_vs_ideal_mean"] <= 2.0
+    assert summary["pack256_util_mean_pct"] >= 50.0
+
+
+def test_fig5b_base_utilization_is_poor(fig5b_result):
+    """Paper: base utilization as low as ~5.9 %."""
+    assert fig5b_result["summary"]["base_util_min_pct"] <= 10.0
+    assert fig5b_result["summary"]["base_util_mean_pct"] <= 20.0
+
+
+def test_fig5b_pack0_high_util_high_traffic(fig5b_result):
+    """Paper: pack0 utilises the channel best (~65.8 %) but moves
+    ~5.6x the ideal traffic."""
+    summary = fig5b_result["summary"]
+    assert summary["pack0_util_mean_pct"] >= 50.0
+    assert 4.0 <= summary["pack0_traffic_vs_ideal_mean"] <= 7.0
+
+
+def test_fig5b_pack256_cuts_traffic(fig5b_result):
+    """Paper: 256-window coalescing cuts traffic to ~1.29x ideal while
+    keeping ~61 % utilization."""
+    summary = fig5b_result["summary"]
+    assert summary["pack256_traffic_vs_ideal_mean"] <= 2.0
+    assert summary["pack256_util_mean_pct"] >= 50.0
+
+
+def test_fig5b_base_traffic_near_ideal(fig5b_result):
+    """The big LLC keeps base's off-chip traffic low."""
+    assert fig5b_result["summary"]["base_traffic_vs_ideal_mean"] <= 2.5
+
+
+def test_fig5b_traffic_ordering(fig5b_result):
+    for matrix in {r["matrix"] for r in fig5b_result["rows"]}:
+        rows = {r["system"]: r for r in fig5b_result["rows"] if r["matrix"] == matrix}
+        assert (
+            rows["pack256"]["traffic_vs_ideal"]
+            <= rows["pack64"]["traffic_vs_ideal"]
+            <= rows["pack0"]["traffic_vs_ideal"]
+        )

@@ -1,0 +1,42 @@
+"""Fig. 6a: adapter area breakdown (GF12 implementation model)."""
+
+import pytest
+
+from repro.experiments.fig6a import run_fig6a
+
+from conftest import record
+
+
+@pytest.fixture(scope="module")
+def fig6a_result():
+    return run_fig6a()
+
+
+def test_fig6a_breakdown(benchmark, fig6a_result):
+    result = benchmark.pedantic(run_fig6a, rounds=1, iterations=1)
+    record(benchmark, "fig6a", result)
+    assert [r["adapter"] for r in result["rows"]] == ["AP64", "AP128", "AP256"]
+
+
+def test_fig6a_published_coalescer_kge(fig6a_result):
+    """Sec. IV-C: 307 / 617 / 1035 kGE for W = 64/128/256."""
+    summary = fig6a_result["summary"]
+    assert summary["coal_kge_w64"] == pytest.approx(307, rel=0.02)
+    assert summary["coal_kge_w128"] == pytest.approx(617, rel=0.02)
+    assert summary["coal_kge_w256"] == pytest.approx(1035, rel=0.02)
+
+
+def test_fig6a_published_areas(fig6a_result):
+    """Sec. IV-C: 0.19 / 0.26 / 0.34 mm2."""
+    summary = fig6a_result["summary"]
+    assert summary["area_mm2_w64"] == pytest.approx(0.19)
+    assert summary["area_mm2_w128"] == pytest.approx(0.26)
+    assert summary["area_mm2_w256"] == pytest.approx(0.34)
+
+
+def test_fig6a_index_queues_largest_block(fig6a_result):
+    """Sec. IV-C: the index queues take the largest share (754 kGE)."""
+    for row in fig6a_result["rows"]:
+        assert row["idx_que_kge"] == pytest.approx(754.0)
+        if row["adapter"] != "AP256":
+            assert row["idx_que_kge"] >= row["coal_kge"]

@@ -1,0 +1,34 @@
+"""Fig. 6b: SpMV efficiency versus SX-Aurora and A64FX."""
+
+import pytest
+
+from repro.experiments.fig6b import run_fig6b
+
+from conftest import record
+
+
+@pytest.fixture(scope="module")
+def fig6b_result():
+    return run_fig6b()
+
+
+def test_fig6b_comparison(benchmark, fig6b_result):
+    result = benchmark.pedantic(run_fig6b, rounds=1, iterations=1)
+    record(benchmark, "fig6b", result)
+    machines = [r["machine"] for r in result["rows"]]
+    assert "SX-Aurora" in machines and "A64FX" in machines
+    assert "This Work" in machines
+
+
+def test_fig6b_onchip_efficiency_ratios(fig6b_result):
+    """Paper: 1.4x / 2.6x better on-chip efficiency."""
+    summary = fig6b_result["summary"]
+    assert summary["onchip_eff_vs_sx_aurora"] == pytest.approx(1.4, abs=0.3)
+    assert summary["onchip_eff_vs_a64fx"] == pytest.approx(2.6, abs=0.5)
+
+
+def test_fig6b_performance_efficiency_retained(fig6b_result):
+    """Paper: ~1x of SX-Aurora and ~0.9x of A64FX."""
+    summary = fig6b_result["summary"]
+    assert summary["perf_eff_vs_sx_aurora"] == pytest.approx(1.0, abs=0.3)
+    assert summary["perf_eff_vs_a64fx"] == pytest.approx(0.9, abs=0.3)

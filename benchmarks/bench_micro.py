@@ -1,0 +1,87 @@
+"""Micro-benchmarks: the substrates' raw throughput.
+
+These track the Python models' own performance (cycles simulated per
+second, kernel throughput), so regressions in the simulator itself are
+visible next to the paper-figure benchmarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.axipack import fast_indirect_stream, run_indirect_stream
+from repro.config import mlp_config, nocoalescer_config
+from repro.mem.backing_store import BackingStore
+from repro.mem.dram import DramChannel
+from repro.mem.request import MemRequest
+from repro.sim.clock import Simulator
+from repro.sparse.suite import get_matrix
+from repro.sparse.spmv import spmv_csr, spmv_sell
+
+
+def _banded(count):
+    rng = np.random.default_rng(1)
+    return np.clip(
+        np.arange(count) // 4 + rng.integers(-20, 21, count), 0, count
+    ).astype(np.uint32)
+
+
+def test_bench_cycle_adapter_mlp64(benchmark):
+    idx = _banded(4000)
+    result = benchmark.pedantic(
+        run_indirect_stream, args=(idx, mlp_config(64)), rounds=2, iterations=1
+    )
+    benchmark.extra_info["cycles"] = result.cycles
+    assert result.count == 4000
+
+
+def test_bench_cycle_adapter_mlpnc(benchmark):
+    idx = _banded(2000)
+    result = benchmark.pedantic(
+        run_indirect_stream, args=(idx, nocoalescer_config()), rounds=2, iterations=1
+    )
+    benchmark.extra_info["cycles"] = result.cycles
+
+
+def test_bench_fast_adapter_full_matrix(benchmark):
+    matrix = get_matrix("pwtk", max_nnz=250_000)
+    idx = matrix.to_sell(32).index_stream()
+    result = benchmark(fast_indirect_stream, idx, mlp_config(256))
+    benchmark.extra_info["indirect_bw_gbps"] = round(result.indirect_bw_gbps, 2)
+
+
+def test_bench_dram_channel_stream(benchmark):
+    def run():
+        store = BackingStore(1 << 20)
+        dram = DramChannel(store)
+        sim = Simulator([dram])
+        issued = 0
+        while issued < 512:
+            if dram.req.can_push():
+                dram.req.push(MemRequest(addr=(issued * 64) % (1 << 20), nbytes=64))
+                issued += 1
+            sim.step()
+        sim.run_until(lambda: not dram.busy, max_cycles=100_000)
+        return sim.cycle
+
+    cycles = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert cycles < 512 * 2 + 500
+
+
+def test_bench_spmv_csr_kernel(benchmark):
+    matrix = get_matrix("pwtk", max_nnz=250_000)
+    x = np.random.default_rng(0).normal(size=matrix.ncols)
+    y = benchmark(spmv_csr, matrix, x)
+    assert y.shape == (matrix.nrows,)
+
+
+def test_bench_spmv_sell_kernel(benchmark):
+    matrix = get_matrix("pwtk", max_nnz=250_000).to_sell(32)
+    x = np.random.default_rng(0).normal(size=matrix.ncols)
+    y = benchmark(spmv_sell, matrix, x)
+    assert y.shape == (matrix.nrows,)
+
+
+def test_bench_sell_conversion(benchmark):
+    matrix = get_matrix("hood", max_nnz=120_000)
+    sell = benchmark(matrix.to_sell, 32)
+    assert sell.true_nnz == matrix.nnz

@@ -1,0 +1,17 @@
+"""Table I: model parameters (configuration consistency check)."""
+
+from repro.experiments.table1 import run_table1
+
+from conftest import record
+
+
+def test_table1_parameters(benchmark):
+    result = benchmark(run_table1)
+    record(benchmark, "table1", result)
+    summary = result["summary"]
+    assert summary["index_queue_depth"] == 256
+    assert summary["hitmap_queue_depth"] == 128
+    assert summary["vpc_lanes"] == 16
+    assert summary["dram_peak_gbps"] == 32.0
+    # Table I: 27 KB on-chip storage at W=256 (within 10 %).
+    assert abs(summary["storage_kib"] - 27.0) / 27.0 < 0.10

@@ -1,0 +1,31 @@
+"""Benchmark harness helpers.
+
+Every paper table/figure has one benchmark module.  Each benchmark runs
+the corresponding experiment once per round (the experiments are
+deterministic), records the headline numbers in ``extra_info`` so they
+appear in pytest-benchmark's report, and writes the full paper-style
+table to ``results/<name>.txt``.
+
+Knobs: ``REPRO_SCALE_NNZ`` (default 60000) and ``REPRO_ADAPTER_MODEL``
+(``fast``/``cycle``) as in :mod:`repro.experiments`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.common import format_table
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def record(benchmark, name: str, result: dict) -> None:
+    """Attach summary to the benchmark and persist the full table."""
+    for key, value in result["summary"].items():
+        benchmark.extra_info[key] = value
+    RESULTS_DIR.mkdir(exist_ok=True)
+    table = format_table(result["rows"])
+    summary = "\n".join(f"{k} = {v}" for k, v in result["summary"].items())
+    (RESULTS_DIR / f"{name}.txt").write_text(
+        f"# {name}\n\n{table}\n\nsummary:\n{summary}\n"
+    )

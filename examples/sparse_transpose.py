@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Near-memory sparse transposition with the scatter path.
+
+Sparse transposition (CSR -> CSC) is the motivating workload of MeNDA
+(paper ref. [21]): it is a pure scatter — every nonzero is written to
+a position derived from its column index.  This example transposes a
+suite matrix functionally and accounts the indirect-write traffic with
+and without write coalescing at different window sizes.
+
+Run:  python examples/sparse_transpose.py [matrix] [max_nnz]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.axipack import fast_indirect_scatter, run_indirect_scatter
+from repro.config import mlp_config
+from repro.sparse import get_matrix
+
+
+def transpose_scatter_offsets(matrix) -> np.ndarray:
+    """Destination slot of each CSR entry in the transposed (CSC)
+    value array — the scatter index stream of the transposition."""
+    counts = np.bincount(matrix.col_idx, minlength=matrix.ncols)
+    col_ptr = np.zeros(matrix.ncols + 1, dtype=np.int64)
+    np.cumsum(counts, out=col_ptr[1:])
+    next_slot = col_ptr[:-1].copy()
+    offsets = np.empty(matrix.nnz, dtype=np.uint32)
+    for j, col in enumerate(matrix.col_idx):
+        offsets[j] = next_slot[col]
+        next_slot[col] += 1
+    return offsets
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "G3_circuit"
+    max_nnz = int(sys.argv[2]) if len(sys.argv) > 2 else 20_000
+
+    matrix = get_matrix(name, max_nnz)
+    print(f"transposing {matrix} via near-memory scatter\n")
+    offsets = transpose_scatter_offsets(matrix)
+
+    # Functional check: scattering the values through the cycle model
+    # must produce exactly the CSC value array.
+    metrics = run_indirect_scatter(offsets, matrix.val, mlp_config(64))
+    print(
+        f"cycle model (MLP64): {metrics.cycles} cycles, "
+        f"{metrics.elem_txns} wide writes for {matrix.nnz} narrow writes "
+        f"(verified against numpy scatter)\n"
+    )
+
+    print(f"{'window':>7s} {'wide writes':>12s} {'coal rate':>10s} "
+          f"{'write BW (GB/s)':>16s}")
+    for window in (8, 32, 128, 256):
+        fast = fast_indirect_scatter(offsets, mlp_config(window))
+        print(
+            f"{window:7d} {fast.elem_txns:12d} {fast.coalesce_rate:10.2f} "
+            f"{fast.indirect_bw_gbps:16.2f}"
+        )
+    print(
+        "\nCSC runs of one column land in the same wide block, so the "
+        "write coalescer merges them exactly as the read coalescer "
+        "merges gathers — sequential-window designs (MeNDA, SCU) leave "
+        "most of that merging on the table."
+    )
+
+
+if __name__ == "__main__":
+    main()

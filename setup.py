@@ -1,0 +1,16 @@
+"""Setuptools shim for environments without PEP 517 wheel support."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Near-Memory Parallel Indexing and Coalescing: "
+        "Enabling Highly Efficient Indirect Access for SpMV' (DATE 2024)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23"],
+)

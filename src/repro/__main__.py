@@ -1,0 +1,91 @@
+"""Command-line entry point.
+
+::
+
+    python -m repro suite                 # list the 20-matrix suite
+    python -m repro report                # regenerate all experiments
+    python -m repro fig3|fig4|fig5a|...   # one experiment's table
+    python -m repro stream pwtk MLP256    # one adapter run
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .experiments import (
+    format_table,
+    run_fig3,
+    run_fig4,
+    run_fig5a,
+    run_fig5b,
+    run_fig6a,
+    run_fig6b,
+    run_table1,
+)
+from .experiments.report import run_all
+
+_RUNNERS = {
+    "table1": run_table1,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig5a": run_fig5a,
+    "fig5b": run_fig5b,
+    "fig6a": run_fig6a,
+    "fig6b": run_fig6b,
+}
+
+
+def _cmd_suite() -> int:
+    from .sparse.suite import suite_summary
+
+    print(format_table(suite_summary()))
+    return 0
+
+
+def _cmd_report() -> int:
+    run_all()
+    return 0
+
+
+def _cmd_experiment(name: str) -> int:
+    result = _RUNNERS[name]()
+    print(format_table(result["rows"]))
+    print("\nsummary:")
+    for key, value in result["summary"].items():
+        print(f"  {key} = {value}")
+    return 0
+
+
+def _cmd_stream(matrix: str, variant: str) -> int:
+    from .axipack import fast_indirect_stream
+    from .axipack.streams import matrix_index_stream
+    from .config import variant_config
+    from .sparse import get_matrix
+
+    indices = matrix_index_stream(get_matrix(matrix), "sell")
+    metrics = fast_indirect_stream(indices, variant_config(variant), variant=variant)
+    for key, value in metrics.summary().items():
+        print(f"{key} = {value}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        print(__doc__)
+        return 2
+    command, *args = argv
+    if command == "suite":
+        return _cmd_suite()
+    if command == "report":
+        return _cmd_report()
+    if command in _RUNNERS:
+        return _cmd_experiment(command)
+    if command == "stream" and len(args) == 2:
+        return _cmd_stream(args[0], args[1])
+    print(__doc__)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

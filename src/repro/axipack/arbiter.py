@@ -1,0 +1,37 @@
+"""Round-robin request arbiter onto the single downstream AXI4 port."""
+
+from __future__ import annotations
+
+from ..sim.component import Component
+from ..sim.fifo import Fifo
+
+
+class Arbiter(Component):
+    """Grants one request per cycle among several input FIFOs.
+
+    Models the adapter's downstream AXI4 address channel: the index
+    fetcher and the element path share one request port, so at most one
+    wide transaction can be issued per cycle.
+    """
+
+    def __init__(self, inputs: list[Fifo], output: Fifo, name: str = "arbiter") -> None:
+        super().__init__(name)
+        self.inputs = inputs
+        self.output = output
+        self._next = 0
+        self.grants = [0] * len(inputs)
+
+    def tick(self) -> None:
+        if not self.output.can_push():
+            return
+        for i in range(len(self.inputs)):
+            port = (self._next + i) % len(self.inputs)
+            if self.inputs[port].can_pop():
+                self.output.push(self.inputs[port].pop())
+                self.grants[port] += 1
+                self._next = (port + 1) % len(self.inputs)
+                return
+
+    @property
+    def busy(self) -> bool:
+        return any(f.can_pop() for f in self.inputs)

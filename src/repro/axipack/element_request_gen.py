@@ -1,0 +1,114 @@
+"""Element request generator: indices -> narrow element requests.
+
+Pops up to one index per lane per cycle (N in parallel), adds the
+requested element base address, and hands the resulting narrow requests
+to the element path — either the request coalescer's W upsizer queues
+or the direct (no-coalescer) path — through the :class:`RequestSink`
+protocol.
+
+The sequential (SEQx) configuration serialises generation to a single
+request per cycle, reproducing the paper's reduced-input-port variant.
+The direct path requires strict stream-order issue, which the ordered
+mode provides at full N-per-cycle throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from ..config import AdapterConfig
+from ..sim.component import Component
+from .burst import IndirectBurst, NarrowRequest
+from .index_fetcher import IndexFetcher
+from .index_splitter import IndexSplitter
+
+
+class RequestSink(Protocol):
+    """Element path input port(s) for narrow requests."""
+
+    def can_accept(self, seq: int) -> bool:
+        """True if the request with stream position ``seq`` fits now."""
+        ...
+
+    def accept(self, request: NarrowRequest) -> None:
+        """Take ownership of one narrow request."""
+        ...
+
+
+class ElementRequestGen(Component):
+    """Generates N parallel (or ordered / 1-sequential) narrow
+    requests per cycle."""
+
+    #: lanes progress independently (parallel coalescer).
+    MODE_PARALLEL = "parallel"
+    #: strict stream order, up to N per cycle (direct no-coalescer path).
+    MODE_ORDERED = "ordered"
+    #: strict stream order, one per cycle (SEQx variants).
+    MODE_SEQUENTIAL = "sequential"
+
+    def __init__(
+        self,
+        config: AdapterConfig,
+        splitter: IndexSplitter,
+        fetcher: IndexFetcher,
+        burst: IndirectBurst,
+        sink: RequestSink,
+        mode: str = MODE_PARALLEL,
+        name: str = "elem_gen",
+    ) -> None:
+        super().__init__(name)
+        if mode not in (self.MODE_PARALLEL, self.MODE_ORDERED, self.MODE_SEQUENTIAL):
+            raise ValueError(f"unknown request generation mode {mode!r}")
+        self.config = config
+        self.splitter = splitter
+        self.fetcher = fetcher
+        self.burst = burst
+        self.sink = sink
+        self.mode = mode
+        self.generated = 0
+        self._lane_counts = [0] * config.lanes
+        self._cursor = 0
+
+    @property
+    def done(self) -> bool:
+        return self.generated >= self.burst.count
+
+    def tick(self) -> None:
+        if self.done:
+            return
+        if self.mode == self.MODE_PARALLEL:
+            self._tick_parallel()
+        else:
+            limit = 1 if self.mode == self.MODE_SEQUENTIAL else self.config.lanes
+            self._tick_ordered(limit)
+
+    def _make_request(self, lane: int, seq: int, index: int) -> NarrowRequest:
+        addr = self.burst.element_base + index * self.burst.element_bytes
+        return NarrowRequest(seq=seq, lane=lane, addr=addr)
+
+    def _emit(self, lane: int, seq: int) -> bool:
+        """Try to move one index from lane queue to the sink."""
+        queue = self.splitter.lane_queues[lane]
+        if not queue.can_pop() or not self.sink.can_accept(seq):
+            return False
+        index = queue.pop()
+        self.sink.accept(self._make_request(lane, seq, index))
+        self.generated += 1
+        self.fetcher.free_credits(1)
+        return True
+
+    def _tick_parallel(self) -> None:
+        lanes = self.config.lanes
+        for lane in range(lanes):
+            seq = self._lane_counts[lane] * lanes + lane
+            if seq < self.burst.count and self._emit(lane, seq):
+                self._lane_counts[lane] += 1
+
+    def _tick_ordered(self, limit: int) -> None:
+        for _ in range(limit):
+            if self._cursor >= self.burst.count:
+                return
+            lane = self._cursor % self.config.lanes
+            if not self._emit(lane, self._cursor):
+                return
+            self._cursor += 1

@@ -1,0 +1,91 @@
+"""Index fetcher: streams the index array out of DRAM in wide blocks.
+
+Upon receiving an indirect burst request, the fetcher walks the index
+stream's address range in wide-block steps and issues efficient wide
+DRAM reads (one AXI ID, in-order responses).  It monitors downstream
+index-queue occupancy through a credit counter so the per-lane index
+queues can never overflow (paper Sec. II-A).
+"""
+
+from __future__ import annotations
+
+from ..config import AdapterConfig, DramConfig
+from ..mem.request import MemRequest
+from ..sim.component import Component
+from ..sim.fifo import Fifo
+from .burst import IndirectBurst
+
+#: AXI ID used for index-stream fetches.
+INDEX_AXI_ID = 0
+#: AXI ID used for element fetches.
+ELEMENT_AXI_ID = 1
+
+
+class IndexFetcher(Component):
+    """Issues wide reads covering the burst's index array."""
+
+    def __init__(
+        self,
+        config: AdapterConfig,
+        dram_config: DramConfig,
+        mem_req: Fifo[MemRequest],
+        name: str = "idx_fetch",
+    ) -> None:
+        super().__init__(name)
+        self.config = config
+        self.dram_config = dram_config
+        self.mem_req = mem_req
+        self.bursts: Fifo[IndirectBurst] = self.make_fifo(4, "bursts")
+        self._burst: IndirectBurst | None = None
+        self._next_addr = 0
+        self._end_addr = 0
+        #: indices issued to DRAM but not yet freed by the splitter.
+        self.credits_used = 0
+        self.blocks_issued = 0
+
+    @property
+    def credit_limit(self) -> int:
+        """Total index-queue capacity in indices across all lanes."""
+        return self.config.lanes * self.config.index_queue_depth
+
+    def free_credits(self, count: int) -> None:
+        """Called by the element request generator when indices retire."""
+        self.credits_used -= count
+        assert self.credits_used >= 0, "index credit underflow"
+
+    def tick(self) -> None:
+        if self._burst is None:
+            if not self.bursts.can_pop():
+                return
+            self._burst = self.bursts.pop()
+            block = self.dram_config.access_bytes
+            start = self._burst.index_base
+            self._next_addr = start - start % block
+            self._end_addr = start + self._burst.index_stream_bytes
+
+        if self._next_addr >= self._end_addr:
+            self._burst = None
+            return
+        if not self.mem_req.can_push():
+            return
+
+        block = self.dram_config.access_bytes
+        indices_in_block = block // self._burst.index_bytes
+        if self.credits_used + indices_in_block > self.credit_limit:
+            return
+
+        self.mem_req.push(
+            MemRequest(
+                addr=self._next_addr,
+                nbytes=block,
+                axi_id=INDEX_AXI_ID,
+                payload=self._burst,
+            )
+        )
+        self.credits_used += indices_in_block
+        self.blocks_issued += 1
+        self._next_addr += block
+
+    @property
+    def busy(self) -> bool:
+        return self._burst is not None or super().busy

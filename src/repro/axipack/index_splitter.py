@@ -1,0 +1,89 @@
+"""Index splitter: wide index blocks -> N parallel index lanes.
+
+For every received wide block of indices, the splitter distributes the
+contained indices round-robin across the N parallel index queues: stream
+position ``j`` goes to lane ``j mod N``.  This keeps one element of each
+upcoming output beat in each lane, which is what lets the element packer
+reassemble the stream in order with one pop per lane per beat.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import AdapterConfig
+from ..mem.request import MemResponse
+from ..sim.component import Component
+from ..sim.fifo import Fifo
+from .burst import IndirectBurst
+from .index_fetcher import IndexFetcher
+
+
+class IndexSplitter(Component):
+    """Splits wide index blocks into the per-lane index queues."""
+
+    def __init__(
+        self,
+        config: AdapterConfig,
+        fetcher: IndexFetcher,
+        idx_rsp: Fifo[MemResponse],
+        name: str = "idx_split",
+    ) -> None:
+        super().__init__(name)
+        self.config = config
+        self.fetcher = fetcher
+        self.idx_rsp = idx_rsp
+        self.lane_queues: list[Fifo[int]] = [
+            self.make_fifo(config.index_queue_depth, f"lane{i}")
+            for i in range(config.lanes)
+        ]
+        #: next stream position to assign (for lane routing).
+        self._stream_pos = 0
+        #: indices already delivered from the current burst.
+        self.indices_delivered = 0
+
+    def tick(self) -> None:
+        if not self.idx_rsp.can_pop():
+            return
+        response = self.idx_rsp.peek()
+        burst: IndirectBurst = response.request.payload
+        indices = self._valid_indices(response, burst)
+
+        # All target lanes must have space before the block is consumed;
+        # round-robin assignment puts at most ceil(len/N) in one lane.
+        lanes = self.config.lanes
+        per_lane = [0] * lanes
+        for k in range(len(indices)):
+            per_lane[(self._stream_pos + k) % lanes] += 1
+        if any(
+            not self.lane_queues[s].can_push(per_lane[s])
+            for s in range(lanes)
+            if per_lane[s]
+        ):
+            return
+
+        self.idx_rsp.pop()
+        for k, index in enumerate(indices):
+            self.lane_queues[(self._stream_pos + k) % lanes].push(int(index))
+        self._stream_pos += len(indices)
+        self.indices_delivered += len(indices)
+
+        # Credits were charged per full block; release the invalid slice
+        # of partial (head/tail) blocks immediately.
+        block_capacity = response.request.nbytes // burst.index_bytes
+        self.fetcher.free_credits(block_capacity - len(indices))
+
+    def _valid_indices(
+        self, response: MemResponse, burst: IndirectBurst
+    ) -> np.ndarray:
+        """Slice the burst-relevant indices out of an aligned block."""
+        assert response.data is not None
+        block_base = response.request.block_addr
+        dtype = np.dtype(f"<u{burst.index_bytes}")
+        values = response.data.view(dtype)
+        start_byte = max(0, burst.index_base - block_base)
+        end_byte = min(
+            len(response.data),
+            burst.index_base + burst.index_stream_bytes - block_base,
+        )
+        return values[start_byte // burst.index_bytes : end_byte // burst.index_bytes]

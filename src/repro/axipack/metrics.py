@@ -1,0 +1,115 @@
+"""Adapter performance metrics shared by the cycle and fast models.
+
+The quantities follow the paper's definitions:
+
+* *indirect stream bandwidth* (Fig. 3) — effective payload delivered
+  upstream per unit time, ``count * element_bytes / time``.  Because a
+  coalesced wide access can serve many narrow requests, this can exceed
+  the physical channel bandwidth.
+* *bandwidth breakdown* (Fig. 4) — the physical downstream bandwidth is
+  split into element fetching, index fetching, and loss versus the
+  ideal channel bandwidth.
+* *coalesce rate* (Fig. 4) — "the ratio of effective indirect access
+  elements to the data amount requested by the coalescer from
+  downstream": ``count * element_bytes / (elem_txns * access_bytes)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import DramConfig
+from ..units import GB
+
+
+@dataclass
+class AdapterMetrics:
+    """Results of streaming one indirect burst through an adapter."""
+
+    variant: str
+    count: int
+    cycles: int
+    idx_txns: int
+    elem_txns: int
+    index_bytes: int = 4
+    element_bytes: int = 8
+    access_bytes: int = 64
+    freq_hz: float = 1.0e9
+    dram_stats: dict[str, int] = field(default_factory=dict)
+    extras: dict[str, float] = field(default_factory=dict)
+
+    # -- byte totals -------------------------------------------------------
+
+    @property
+    def effective_bytes(self) -> int:
+        """Payload bytes delivered upstream."""
+        return self.count * self.element_bytes
+
+    @property
+    def elem_fetch_bytes(self) -> int:
+        """Bytes moved over the channel for element accesses."""
+        return self.elem_txns * self.access_bytes
+
+    @property
+    def idx_fetch_bytes(self) -> int:
+        """Bytes moved over the channel for index fetching."""
+        return self.idx_txns * self.access_bytes
+
+    @property
+    def total_fetch_bytes(self) -> int:
+        return self.elem_fetch_bytes + self.idx_fetch_bytes
+
+    # -- paper metrics --------------------------------------------------------
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / self.freq_hz
+
+    @property
+    def indirect_bw_gbps(self) -> float:
+        """Fig. 3 metric: effective indirect access bandwidth."""
+        return self.effective_bytes / self.seconds / GB
+
+    @property
+    def elem_bw_gbps(self) -> float:
+        return self.elem_fetch_bytes / self.seconds / GB
+
+    @property
+    def idx_bw_gbps(self) -> float:
+        return self.idx_fetch_bytes / self.seconds / GB
+
+    def loss_gbps(self, dram: DramConfig | None = None) -> float:
+        """Unused channel bandwidth versus the ideal peak."""
+        peak = (dram or DramConfig()).peak_bandwidth_gbps
+        return max(0.0, peak - self.elem_bw_gbps - self.idx_bw_gbps)
+
+    @property
+    def coalesce_rate(self) -> float:
+        """Fig. 4 metric: effective element bytes per fetched element
+        byte (1.0 means every fetched byte was useful exactly once)."""
+        if self.elem_fetch_bytes == 0:
+            return 0.0
+        return self.effective_bytes / self.elem_fetch_bytes
+
+    @property
+    def requests_per_cycle(self) -> float:
+        """Narrow element requests retired per cycle."""
+        return self.count / self.cycles if self.cycles else 0.0
+
+    def bandwidth_utilization(self, dram: DramConfig | None = None) -> float:
+        """Fraction of the physical channel peak actually used."""
+        peak = (dram or DramConfig()).peak_bandwidth_gbps
+        return min(1.0, (self.elem_bw_gbps + self.idx_bw_gbps) / peak)
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict for tabular reporting."""
+        return {
+            "variant": self.variant,
+            "count": self.count,
+            "cycles": self.cycles,
+            "indirect_bw_gbps": round(self.indirect_bw_gbps, 3),
+            "elem_bw_gbps": round(self.elem_bw_gbps, 3),
+            "idx_bw_gbps": round(self.idx_bw_gbps, 3),
+            "coalesce_rate": round(self.coalesce_rate, 3),
+            "requests_per_cycle": round(self.requests_per_cycle, 3),
+        }

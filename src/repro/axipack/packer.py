@@ -1,0 +1,53 @@
+"""Element packer: densely packs narrow elements onto the wide
+upstream AXI-Pack bus (paper Sec. II-A).
+
+One beat carries up to ``bus_bytes / element_bytes`` (= N) elements.
+Beat ``b`` is complete when every lane has delivered its element for
+stream positions ``b*N .. b*N+N-1``; the tail beat may be narrower.
+"""
+
+from __future__ import annotations
+
+from ..config import AdapterConfig
+from ..sim.component import Component
+from ..sim.fifo import Fifo
+from .burst import IndirectBurst
+
+
+class ElementPacker(Component):
+    """Reassembles the in-order element stream into wide beats."""
+
+    def __init__(
+        self,
+        config: AdapterConfig,
+        burst: IndirectBurst,
+        lane_out: list[Fifo[float]],
+        name: str = "packer",
+    ) -> None:
+        super().__init__(name)
+        self.config = config
+        self.burst = burst
+        self.lane_out = lane_out
+        self.emitted = 0
+        self.beats = 0
+        #: delivered element values in stream order (functional output).
+        self.output: list[float] = []
+
+    @property
+    def done(self) -> bool:
+        return self.emitted >= self.burst.count
+
+    def tick(self) -> None:
+        if self.done:
+            return
+        needed = min(self.config.lanes, self.burst.count - self.emitted)
+        if not all(self.lane_out[s].can_pop() for s in range(needed)):
+            return
+        for s in range(needed):
+            self.output.append(self.lane_out[s].pop())
+        self.emitted += needed
+        self.beats += 1
+
+    @property
+    def busy(self) -> bool:
+        return not self.done

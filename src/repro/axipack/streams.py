@@ -1,0 +1,30 @@
+"""Helpers mapping sparse matrices to adapter index streams."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ExperimentError
+from ..sparse.csr import CsrMatrix
+from ..sparse.sell import SellMatrix
+
+#: formats evaluated in the paper (Fig. 3 runs both).
+FORMATS: tuple[str, ...] = ("sell", "csr")
+
+
+def matrix_index_stream(matrix: CsrMatrix, fmt: str = "sell") -> np.ndarray:
+    """The column-index stream SpMV consumes for ``matrix`` in ``fmt``.
+
+    For CSR this is the row-major ``col_idx`` array; for SELL (32 rows
+    per slice) it is the column-of-slice-major padded index array —
+    exactly the order the AXI-Pack adapter fetches and indirects.
+    """
+    if fmt == "csr":
+        return matrix.index_stream()
+    if fmt == "sell":
+        return _sell_stream(matrix)
+    raise ExperimentError(f"unknown format {fmt!r}; expected one of {FORMATS}")
+
+
+def _sell_stream(matrix: CsrMatrix) -> np.ndarray:
+    return matrix.to_sell(32).index_stream()

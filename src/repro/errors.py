@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without intercepting unrelated
+exceptions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an illegal state (protocol violation,
+    queue overflow, deadlock, ...)."""
+
+
+class DeadlockError(SimulationError):
+    """The simulator detected that no component made progress for longer
+    than the configured deadlock horizon."""
+
+
+class ProtocolError(SimulationError):
+    """A component violated a handshake or ordering protocol."""
+
+
+class MemoryModelError(ReproError):
+    """An illegal access or configuration in the memory subsystem."""
+
+
+class SparseFormatError(ReproError):
+    """A sparse matrix is malformed or an operation is unsupported for
+    its format."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was asked to run an unknown or inconsistent
+    configuration."""

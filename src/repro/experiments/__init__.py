@@ -1,0 +1,39 @@
+"""Experiment runners: one module per paper table/figure.
+
+Each ``run_*`` function returns plain row dictionaries (ready for
+tabular printing or JSON) and a ``summary`` with the headline numbers
+the paper reports, so EXPERIMENTS.md can track paper-vs-measured.
+
+Environment knobs (all optional):
+
+* ``REPRO_SCALE_NNZ`` — nonzero budget per suite matrix (default 60000;
+  the shipped EXPERIMENTS.md numbers use 250000).
+* ``REPRO_ADAPTER_MODEL`` — ``fast`` (default) or ``cycle`` for the
+  adapter timing model used by the sweeps.
+"""
+
+from .common import (
+    adapter_model_from_env,
+    format_table,
+    scale_from_env,
+)
+from .fig3 import run_fig3
+from .fig4 import run_fig4
+from .fig5a import run_fig5a
+from .fig5b import run_fig5b
+from .fig6a import run_fig6a
+from .fig6b import run_fig6b
+from .table1 import run_table1
+
+__all__ = [
+    "adapter_model_from_env",
+    "format_table",
+    "scale_from_env",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5a",
+    "run_fig5b",
+    "run_fig6a",
+    "run_fig6b",
+    "run_table1",
+]

@@ -1,0 +1,92 @@
+"""Shared experiment plumbing: env knobs, stream cache, tables."""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+import numpy as np
+
+from ..axipack import fast_indirect_stream, run_indirect_stream
+from ..axipack.metrics import AdapterMetrics
+from ..axipack.streams import matrix_index_stream
+from ..config import AdapterConfig, DramConfig, variant_config
+from ..errors import ExperimentError
+from ..sparse.suite import get_matrix
+
+#: default per-matrix nonzero budget for experiment sweeps.
+DEFAULT_SCALE_NNZ = 60_000
+
+
+def scale_from_env(default: int = DEFAULT_SCALE_NNZ) -> int:
+    """Nonzero budget from ``REPRO_SCALE_NNZ``."""
+    raw = os.environ.get("REPRO_SCALE_NNZ", "")
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ExperimentError(f"bad REPRO_SCALE_NNZ={raw!r}") from exc
+    if value < 1000:
+        raise ExperimentError("REPRO_SCALE_NNZ must be >= 1000")
+    return value
+
+
+def adapter_model_from_env(default: str = "fast") -> str:
+    """Adapter timing model from ``REPRO_ADAPTER_MODEL``."""
+    model = os.environ.get("REPRO_ADAPTER_MODEL", default)
+    if model not in ("fast", "cycle"):
+        raise ExperimentError(f"bad REPRO_ADAPTER_MODEL={model!r}")
+    return model
+
+
+@lru_cache(maxsize=256)
+def cached_stream(name: str, fmt: str, max_nnz: int) -> np.ndarray:
+    """Suite matrix index stream, memoised across experiment runs."""
+    return matrix_index_stream(get_matrix(name, max_nnz), fmt)
+
+
+def adapter_metrics(
+    indices: np.ndarray,
+    variant: str,
+    model: str = "fast",
+    dram: DramConfig | None = None,
+) -> AdapterMetrics:
+    """Run one adapter configuration with the chosen model."""
+    config: AdapterConfig = variant_config(variant)
+    if model == "cycle":
+        return run_indirect_stream(indices, config, dram, variant=variant)
+    return fast_indirect_stream(indices, config, dram, variant=variant)
+
+
+def format_table(rows: list[dict], columns: list[str] | None = None) -> str:
+    """Render rows as an aligned text table (paper-style)."""
+    if not rows:
+        return "(no rows)"
+    columns = columns or list(rows[0].keys())
+    texts = [[_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(text[i]) for text in texts))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    rule = "-" * len(header)
+    body = "\n".join(
+        "  ".join(text[i].ljust(widths[i]) for i in range(len(columns)))
+        for text in texts
+    )
+    return f"{header}\n{rule}\n{body}"
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 100 else f"{value:.1f}"
+    return str(value)
+
+
+def geomean(values: list[float]) -> float:
+    """Geometric mean (the right average for speedups)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return float(np.exp(np.mean(np.log(values))))

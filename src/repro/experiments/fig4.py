@@ -1,0 +1,90 @@
+"""Fig. 4: downstream bandwidth breakdown and coalesce rate.
+
+Six representative matrices (SELL format) x {MLPnc, MLP16, MLP64,
+MLP256, SEQ256}.  The physical channel bandwidth splits into element
+fetching, index fetching, and loss versus the 32 GB/s ideal; the
+effective indirect bandwidth and the coalesce rate are reported on top.
+
+Paper observations tracked by ``summary``:
+
+* without a coalescer, element fetching monopolises the channel and
+  index fetching is squeezed out;
+* deeper parallel windows raise the coalesce rate, freeing bandwidth
+  for index fetching (af_shell10 at MLP256 fetches indices at
+  ~13 GB/s = ~3.3 coalesced requests per cycle);
+* SEQ256 reaches the same coalesce rate but its one-request-per-cycle
+  input caps index fetching near 4 GB/s.
+"""
+
+from __future__ import annotations
+
+from ..config import DramConfig
+from ..sparse.suite import FIG4_MATRICES
+from ..axipack.variants import FIG4_VARIANTS
+from .common import (
+    adapter_metrics,
+    adapter_model_from_env,
+    cached_stream,
+    scale_from_env,
+)
+
+
+def run_fig4(
+    matrices: tuple[str, ...] = FIG4_MATRICES,
+    variants: tuple[str, ...] = FIG4_VARIANTS,
+    fmt: str = "sell",
+    max_nnz: int | None = None,
+    model: str | None = None,
+) -> dict:
+    """Regenerate the Fig. 4 data grid."""
+    max_nnz = max_nnz or scale_from_env()
+    model = model or adapter_model_from_env()
+    dram = DramConfig()
+
+    rows = []
+    for name in matrices:
+        indices = cached_stream(name, fmt, max_nnz)
+        for variant in variants:
+            metrics = adapter_metrics(indices, variant, model, dram)
+            rows.append(
+                {
+                    "matrix": name,
+                    "variant": variant,
+                    "indir_gbps": round(metrics.indirect_bw_gbps, 2),
+                    "elem_gbps": round(metrics.elem_bw_gbps, 2),
+                    "index_gbps": round(metrics.idx_bw_gbps, 2),
+                    "loss_gbps": round(metrics.loss_gbps(dram), 2),
+                    "coal_rate": round(metrics.coalesce_rate, 3),
+                }
+            )
+
+    summary = _summarise(rows)
+    return {"rows": rows, "summary": summary}
+
+
+def _summarise(rows: list[dict]) -> dict:
+    def mean(variant: str, key: str) -> float:
+        values = [r[key] for r in rows if r["variant"] == variant]
+        return sum(values) / len(values) if values else 0.0
+
+    af_256 = next(
+        (
+            r
+            for r in rows
+            if r["matrix"] == "af_shell10" and r["variant"] == "MLP256"
+        ),
+        None,
+    )
+    summary = {
+        "mlpnc_mean_elem_gbps": round(mean("MLPnc", "elem_gbps"), 2),
+        "mlpnc_mean_index_gbps": round(mean("MLPnc", "index_gbps"), 2),
+        "mlp256_mean_coal_rate": round(mean("MLP256", "coal_rate"), 3),
+        "seq256_mean_coal_rate": round(mean("SEQ256", "coal_rate"), 3),
+        "seq256_mean_index_gbps": round(mean("SEQ256", "index_gbps"), 2),
+    }
+    if af_256:
+        summary["af_shell10_mlp256_index_gbps"] = af_256["index_gbps"]
+        summary["af_shell10_mlp256_reqs_per_cycle"] = round(
+            af_256["index_gbps"] / 4.0, 2
+        )
+    return summary

@@ -1,0 +1,60 @@
+"""Fig. 5a: SpMV runtime on the four systems.
+
+Six representative matrices x {base, pack0, pack64, pack256}: speedup
+versus the base system, normalised runtime, and the share spent on
+indirect accesses.  Paper headline numbers tracked by ``summary``:
+pack0 ~2.7x over base on average, pack256 ~3x over pack0 and ~10x over
+base.
+"""
+
+from __future__ import annotations
+
+from ..sparse.suite import FIG4_MATRICES, get_matrix, get_spec
+from ..vpc import BaselineSystem, PackSystem, PACK_SYSTEMS
+from .common import adapter_model_from_env, geomean, scale_from_env
+
+
+def run_fig5a(
+    matrices: tuple[str, ...] = FIG4_MATRICES,
+    max_nnz: int | None = None,
+    model: str | None = None,
+) -> dict:
+    """Regenerate the Fig. 5a data grid."""
+    max_nnz = max_nnz or scale_from_env()
+    model = model or adapter_model_from_env()
+
+    rows = []
+    speedups: dict[str, list[float]] = {name: [] for name in PACK_SYSTEMS}
+    for name in matrices:
+        spec = get_spec(name)
+        matrix = get_matrix(name, max_nnz)
+        llc_scale = matrix.nrows / spec.n
+        base = BaselineSystem().run(matrix, name, llc_scale=llc_scale)
+        rows.append(_row(name, "base", base, base))
+        for system, variant in PACK_SYSTEMS.items():
+            result = PackSystem(variant, adapter_model=model, name=system).run(
+                matrix, name
+            )
+            rows.append(_row(name, system, result, base))
+            speedups[system].append(base.runtime_cycles / result.runtime_cycles)
+
+    summary = {
+        f"{system}_speedup_geomean": round(geomean(values), 2)
+        for system, values in speedups.items()
+    }
+    if speedups["pack0"] and speedups["pack256"]:
+        summary["pack256_vs_pack0"] = round(
+            geomean(speedups["pack256"]) / geomean(speedups["pack0"]), 2
+        )
+    return {"rows": rows, "summary": summary}
+
+
+def _row(matrix: str, system: str, result, base) -> dict:
+    return {
+        "matrix": matrix,
+        "system": system,
+        "speedup_vs_base": round(base.runtime_cycles / result.runtime_cycles, 2),
+        "norm_runtime": round(result.runtime_cycles / base.runtime_cycles, 4),
+        "indir_fraction": round(result.indirect_fraction, 3),
+        "runtime_cycles": round(result.runtime_cycles),
+    }

@@ -1,0 +1,35 @@
+"""Fig. 6a: AXI-Pack adapter area breakdown (GF12, 1 GHz).
+
+kGE per block (others / ele_gen / idx_que / coal) for AP64 / AP128 /
+AP256, plus the published mm² and standard-cell utilization points.
+"""
+
+from __future__ import annotations
+
+from ..hw.area import adapter_area_breakdown
+
+
+def run_fig6a(windows: tuple[int, ...] = (64, 128, 256)) -> dict:
+    """Regenerate the Fig. 6a data."""
+    rows = []
+    for window in windows:
+        breakdown = adapter_area_breakdown(window)
+        rows.append(
+            {
+                "adapter": f"AP{window}",
+                "others_kge": round(breakdown["others"], 1),
+                "ele_gen_kge": round(breakdown["ele_gen"], 1),
+                "idx_que_kge": round(breakdown["idx_que"], 1),
+                "coal_kge": round(breakdown["coal"], 1),
+                "total_kge": round(breakdown["total"], 1),
+                "area_mm2": round(breakdown["area_mm2"], 3),
+                "utilization_pct": round(breakdown["utilization_pct"], 1),
+            }
+        )
+    summary = {
+        f"coal_kge_w{row['adapter'][2:]}": row["coal_kge"] for row in rows
+    }
+    summary.update(
+        {f"area_mm2_w{row['adapter'][2:]}": row["area_mm2"] for row in rows}
+    )
+    return {"rows": rows, "summary": summary}

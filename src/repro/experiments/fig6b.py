@@ -1,0 +1,75 @@
+"""Fig. 6b: SpMV efficiency versus state-of-the-art vector processors.
+
+On-chip cost (kB per GB/s of STREAM bandwidth) and SpMV performance
+efficiency (GFLOP/s per GB/s) for SX-Aurora, A64FX (published numbers,
+refs. [15]/[16]) and our simulated system.  The per-matrix bars use
+af_shell10, pwtk and BenElechi1 plus the suite average, as the paper
+does.  Headline ratios tracked by ``summary``: 1.4x / 2.6x better
+on-chip efficiency while retaining 1x / 0.9x performance efficiency.
+"""
+
+from __future__ import annotations
+
+from ..hw.soa import SOA_PROCESSORS, our_processor_datum
+from ..sparse.suite import FIG6B_MATRICES, get_matrix
+from ..vpc import PackSystem
+from .common import adapter_model_from_env, scale_from_env
+
+
+def run_fig6b(
+    matrices: tuple[str, ...] = FIG6B_MATRICES,
+    max_nnz: int | None = None,
+    model: str | None = None,
+) -> dict:
+    """Regenerate the Fig. 6b data."""
+    max_nnz = max_nnz or scale_from_env()
+    model = model or adapter_model_from_env()
+
+    per_matrix = {}
+    for name in matrices:
+        matrix = get_matrix(name, max_nnz)
+        result = PackSystem("MLP256", adapter_model=model).run(matrix, name)
+        per_matrix[name] = result.gflops
+    avg_gflops = sum(per_matrix.values()) / len(per_matrix)
+
+    ours = our_processor_datum(avg_gflops)
+    rows = []
+    for datum in [*SOA_PROCESSORS.values(), ours]:
+        rows.append(
+            {
+                "machine": datum.name,
+                "gflops_per_gbps": round(datum.perf_efficiency_gflops_per_gbps, 4),
+                "onchip_kb_per_gbps": round(datum.onchip_cost_kb_per_gbps, 2),
+            }
+        )
+    for name, gflops in per_matrix.items():
+        rows.append(
+            {
+                "machine": f"This Work [{name}]",
+                "gflops_per_gbps": round(gflops / ours.stream_copy_gbps, 4),
+                "onchip_kb_per_gbps": round(ours.onchip_cost_kb_per_gbps, 2),
+            }
+        )
+
+    sx = SOA_PROCESSORS["SX-Aurora"]
+    a64 = SOA_PROCESSORS["A64FX"]
+    summary = {
+        "avg_spmv_gflops": round(avg_gflops, 3),
+        "onchip_eff_vs_sx_aurora": round(
+            sx.onchip_cost_kb_per_gbps / ours.onchip_cost_kb_per_gbps, 2
+        ),
+        "onchip_eff_vs_a64fx": round(
+            a64.onchip_cost_kb_per_gbps / ours.onchip_cost_kb_per_gbps, 2
+        ),
+        "perf_eff_vs_sx_aurora": round(
+            ours.perf_efficiency_gflops_per_gbps
+            / sx.perf_efficiency_gflops_per_gbps,
+            2,
+        ),
+        "perf_eff_vs_a64fx": round(
+            ours.perf_efficiency_gflops_per_gbps
+            / a64.perf_efficiency_gflops_per_gbps,
+            2,
+        ),
+    }
+    return {"rows": rows, "summary": summary}

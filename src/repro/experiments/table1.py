@@ -1,0 +1,65 @@
+"""Table I: adapter / vector processor / DRAM model parameters."""
+
+from __future__ import annotations
+
+from ..config import AdapterConfig, DramConfig, VpcConfig
+from ..hw.storage import adapter_storage_bytes
+from ..units import KIB
+
+
+def run_table1() -> dict:
+    """Emit Table I as rows plus the values the defaults must satisfy."""
+    adapter = AdapterConfig()
+    vpc = VpcConfig()
+    dram = DramConfig()
+    assert adapter.coalescer is not None
+
+    rows = [
+        {
+            "model": "AXI-Pack Adapter",
+            "parameter": "queue depth",
+            "value": (
+                f"{adapter.index_queue_depth} (index), "
+                f"{adapter.coalescer.sizer_queue_depth} (up/downsizer), "
+                f"{adapter.coalescer.hitmap_queue_depth} (hitmap), "
+                f"{adapter.coalescer.offsets_total_entries}/W (offsets)"
+            ),
+        },
+        {
+            "model": "AXI-Pack Adapter",
+            "parameter": "on-chip storage",
+            "value": f"{adapter_storage_bytes(adapter) / KIB:.1f} KiB (W=256)",
+        },
+        {
+            "model": "Vector Processor System",
+            "parameter": "configuration",
+            "value": (
+                f"{vpc.lanes} lanes, {vpc.freq_hz / 1e9:.0f} GHz, "
+                f"{vpc.l2_spm_bytes // KIB} KB L2"
+            ),
+        },
+        {
+            "model": "DRAM and Controller",
+            "parameter": "channel",
+            "value": (
+                f"One HBM2 chan, {dram.freq_hz / 1e9:.0f} GHz, "
+                f"{dram.peak_bandwidth_gbps:.0f} GB/s (ideal)"
+            ),
+        },
+        {
+            "model": "DRAM and Controller",
+            "parameter": "schedule policy",
+            "value": "open adaptive, FR-FCFS",
+        },
+    ]
+    summary = {
+        "index_queue_depth": adapter.index_queue_depth,
+        "sizer_queue_depth": adapter.coalescer.sizer_queue_depth,
+        "hitmap_queue_depth": adapter.coalescer.hitmap_queue_depth,
+        "offsets_total_entries": adapter.coalescer.offsets_total_entries,
+        "storage_kib": adapter_storage_bytes(adapter) / KIB,
+        "vpc_lanes": vpc.lanes,
+        "l2_kib": vpc.l2_spm_bytes // KIB,
+        "dram_peak_gbps": dram.peak_bandwidth_gbps,
+    }
+    return {"rows": rows, "summary": summary}

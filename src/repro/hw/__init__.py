@@ -1,0 +1,15 @@
+"""Implementation-quality models: area, on-chip storage, and
+state-of-the-art comparisons (paper Sec. IV-C, Fig. 6)."""
+
+from .area import AreaModel, adapter_area_breakdown
+from .soa import SOA_PROCESSORS, efficiency_comparison
+from .storage import adapter_storage_breakdown, system_onchip_storage
+
+__all__ = [
+    "AreaModel",
+    "adapter_area_breakdown",
+    "SOA_PROCESSORS",
+    "efficiency_comparison",
+    "adapter_storage_breakdown",
+    "system_onchip_storage",
+]

@@ -1,0 +1,74 @@
+"""On-chip storage accounting (paper Table I: 27 kB at W = 256).
+
+``adapter_storage_breakdown`` derives the adapter's SRAM/flop storage
+from the configuration's queue geometry; at the paper's configuration
+it lands at the published ~27 kB.  ``system_onchip_storage`` sums the
+whole vector-processor system's on-chip memory the way Fig. 6b counts
+it for the efficiency comparison (register file, L1, L2/SPM, LLC).
+"""
+
+from __future__ import annotations
+
+from ..config import AdapterConfig, VpcConfig
+from ..units import KIB
+
+
+def adapter_storage_breakdown(config: AdapterConfig) -> dict[str, float]:
+    """Bytes of on-chip storage per adapter structure."""
+    lanes = config.lanes
+    idx_bytes = config.index_bytes
+    elem_bytes = config.element_bytes
+    breakdown: dict[str, float] = {
+        # N per-lane index queues (dual-port SRAM macros).
+        "index_queues": lanes * config.index_queue_depth * idx_bytes,
+        # wide response staging for index and element returns.
+        "response_staging": 2 * 16 * config.bus_bytes,
+        # element packer beat assembly.
+        "packer": 2 * config.bus_bytes,
+    }
+    cc = config.coalescer
+    if cc is not None:
+        window = cc.window
+        breakdown.update(
+            {
+                # W upsizer request queues: address + stream metadata.
+                "request_queues": window * cc.sizer_queue_depth * 12,
+                # hitmap queue: one W-bit map per outstanding warp.
+                "hitmap_queue": cc.hitmap_queue_depth * window / 8,
+                # W shallow offset FIFOs (byte-aligned offsets).
+                "offsets_queues": cc.offsets_total_entries * 1,
+                # W element queues.
+                "element_queues": window * cc.sizer_queue_depth * elem_bytes,
+                # downsizer lane buffers.
+                "lane_buffers": lanes * cc.sizer_queue_depth * elem_bytes,
+                # the CSHR itself: tag + W offsets + W-bit hitmap.
+                "cshr": 8 + window + window / 8,
+            }
+        )
+    breakdown["total"] = sum(v for k, v in breakdown.items() if k != "total")
+    return breakdown
+
+
+def adapter_storage_bytes(config: AdapterConfig) -> float:
+    return adapter_storage_breakdown(config)["total"]
+
+
+def system_onchip_storage(
+    adapter: AdapterConfig | None = None,
+    vpc: VpcConfig | None = None,
+) -> dict[str, float]:
+    """Our system's total on-chip memory, in bytes, counted the way
+    Fig. 6b counts the comparison machines' (entire memory system:
+    vector register file, L1, L2/SPM)."""
+    adapter = adapter or AdapterConfig()
+    vpc = vpc or VpcConfig()
+    vlen_bits = vpc.lanes * 1024  # Ara: VLEN scales with the lane count
+    vrf_bytes = 32 * vlen_bits // 8  # 32 vector registers
+    breakdown = {
+        "l2_spm": float(vpc.l2_spm_bytes),
+        "adapter": adapter_storage_bytes(adapter),
+        "cva6_l1": 2 * 32 * KIB,  # 32 KiB I$ + 32 KiB D$
+        "ara_vrf": float(vrf_bytes),
+    }
+    breakdown["total"] = sum(breakdown.values())
+    return breakdown

@@ -1,0 +1,19 @@
+"""Memory substrate: backing store, ideal memory, and the HBM2 channel
+model that replaces the paper's DRAMSys co-simulation."""
+
+from .backing_store import BackingStore
+from .dram import DramChannel
+from .ideal import IdealMemory
+from .multichannel import MultiChannelMemory
+from .reorder import ReorderBuffer
+from .request import MemRequest, MemResponse
+
+__all__ = [
+    "BackingStore",
+    "DramChannel",
+    "IdealMemory",
+    "MultiChannelMemory",
+    "ReorderBuffer",
+    "MemRequest",
+    "MemResponse",
+]

@@ -1,0 +1,73 @@
+"""Ideal memory: fixed latency, peak bandwidth, always in order.
+
+Used in unit tests to isolate adapter behaviour from DRAM scheduling
+effects, and as the "ideal" reference point in traffic experiments.
+"""
+
+from __future__ import annotations
+
+from ..config import DramConfig
+from ..sim.component import Component
+from ..sim.fifo import Fifo
+from ..sim.stats import StatSet
+from .backing_store import BackingStore
+from .request import MemRequest, MemResponse
+
+
+class IdealMemory(Component):
+    """Serves one wide transaction every ``t_burst`` cycles after a fixed
+    pipeline latency, in arrival order."""
+
+    def __init__(
+        self,
+        store: BackingStore,
+        config: DramConfig | None = None,
+        latency: int = 20,
+        req_capacity: int = 32,
+        name: str = "ideal_mem",
+    ) -> None:
+        super().__init__(name)
+        self.store = store
+        self.config = config or DramConfig()
+        self.latency = latency
+        self.req: Fifo[MemRequest] = self.make_fifo(req_capacity, "req")
+        self.rsp: Fifo[MemResponse] = self.make_fifo(None, "rsp")
+        self.stats = StatSet(name)
+        self._bus_free_at = 0
+        self._inflight: list[tuple[int, MemResponse]] = []
+
+    def tick(self) -> None:
+        self._deliver_finished()
+        if not self.req.can_pop():
+            return
+        if self.cycle < self._bus_free_at:
+            return
+        request = self.req.pop()
+        start = max(self.cycle, self._bus_free_at)
+        finish = start + self.latency + self.config.t_burst
+        self._bus_free_at = start + self.config.t_burst
+        self._inflight.append((finish, self._serve(request, finish)))
+        self.stats.add("transactions")
+        self.stats.add("bytes", request.nbytes)
+
+    def _serve(self, request: MemRequest, finish: int) -> MemResponse:
+        if request.is_write:
+            assert request.write_data is not None
+            self.store.write_block(request.addr, request.write_data)
+            return MemResponse(request, None, finish)
+        data = self.store.read_block(request.block_addr, request.nbytes)
+        return MemResponse(request, data, finish)
+
+    def _deliver_finished(self) -> None:
+        remaining = []
+        for finish, response in self._inflight:
+            if finish <= self.cycle:
+                self.rsp.push(response)
+            else:
+                remaining.append((finish, response))
+        self._inflight = remaining
+
+    @property
+    def busy(self) -> bool:
+        # Undrained responses are the consumer's job, not pending work.
+        return bool(self._inflight) or not self.req.is_empty

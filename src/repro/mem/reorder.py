@@ -1,0 +1,87 @@
+"""Per-ID in-order response front (AXI4 ordering semantics).
+
+The DRAM controller may complete transactions out of order; AXI requires
+that responses with the same ID return in request order.  The adapter
+relies on this for its metadata queues, so a :class:`ReorderBuffer` sits
+between the channel and the adapter: requests pass through unmodified
+while being logged, responses are buffered and released in order per ID.
+
+Responses of *different* IDs are independent (AXI R-channel interleaving):
+each ID releases into its own sink FIFO with its own in-flight budget, so
+a stalled element stream can never block the index stream or vice versa.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import ProtocolError
+from ..sim.component import Component
+from ..sim.fifo import Fifo
+from .request import MemRequest, MemResponse
+
+
+class ReorderBuffer(Component):
+    """Restores per-AXI-ID response ordering over an OoO memory."""
+
+    def __init__(
+        self,
+        mem_req: Fifo[MemRequest],
+        mem_rsp: Fifo[MemResponse],
+        sinks: dict[int, Fifo[MemResponse]] | None = None,
+        req_capacity: int = 32,
+        max_inflight_per_id: int = 64,
+        name: str = "reorder",
+    ) -> None:
+        super().__init__(name)
+        self.mem_req = mem_req
+        self.mem_rsp = mem_rsp
+        self.max_inflight_per_id = max_inflight_per_id
+        self.req: Fifo[MemRequest] = self.make_fifo(req_capacity, "req")
+        #: default single sink used when no routing dict is given.
+        self.rsp: Fifo[MemResponse] = self.make_fifo(None, "rsp")
+        self._sinks = sinks
+        self._expected: dict[int, deque[int]] = {}
+        self._waiting: dict[int, dict[int, MemResponse]] = {}
+        self._inflight: dict[int, int] = {}
+
+    def _sink_for(self, axi_id: int) -> Fifo[MemResponse]:
+        if self._sinks is None:
+            return self.rsp
+        if axi_id not in self._sinks:
+            raise ProtocolError(f"{self.name}: no sink for AXI ID {axi_id}")
+        return self._sinks[axi_id]
+
+    def tick(self) -> None:
+        # Forward requests downstream, recording their order per ID.
+        while self.req.can_pop() and self.mem_req.can_push():
+            request = self.req.peek()
+            if self._inflight.get(request.axi_id, 0) >= self.max_inflight_per_id:
+                break
+            self.req.pop()
+            self._expected.setdefault(request.axi_id, deque()).append(request.seq)
+            self._inflight[request.axi_id] = self._inflight.get(request.axi_id, 0) + 1
+            self.mem_req.push(request)
+
+        # Absorb downstream responses.
+        while self.mem_rsp.can_pop():
+            response = self.mem_rsp.pop()
+            if not self._expected.get(response.axi_id):
+                raise ProtocolError(
+                    f"{self.name}: response for unknown ID {response.axi_id}"
+                )
+            self._waiting.setdefault(response.axi_id, {})[
+                response.request.seq
+            ] = response
+
+        # Release responses in per-ID request order, each ID to its sink.
+        for axi_id, queue in self._expected.items():
+            waiting = self._waiting.get(axi_id, {})
+            sink = self._sink_for(axi_id)
+            while queue and queue[0] in waiting and sink.can_push():
+                sink.push(waiting.pop(queue.popleft()))
+                self._inflight[axi_id] -= 1
+
+    @property
+    def busy(self) -> bool:
+        return any(count > 0 for count in self._inflight.values()) or super().busy

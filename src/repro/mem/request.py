@@ -1,0 +1,71 @@
+"""Request/response records exchanged with the memory models.
+
+These model AXI4 single-beat wide transactions: the adapter only ever
+issues accesses of the DRAM granularity (one 512 b block).  ``axi_id``
+carries AXI ordering semantics — responses for one ID must return in
+request order, which :class:`~repro.mem.reorder.ReorderBuffer` enforces
+on top of the out-of-order DRAM channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any
+
+import numpy as np
+
+_SEQUENCE = count()
+
+
+@dataclass(frozen=True)
+class MemRequest:
+    """One wide memory transaction request.
+
+    ``write_mask`` models AXI write strobes: a boolean array with one
+    entry per byte of ``write_data``; only asserted bytes are written
+    (how the scatter path commits coalesced partial-block writes).
+    """
+
+    addr: int
+    nbytes: int
+    axi_id: int = 0
+    is_write: bool = False
+    write_data: np.ndarray | None = None
+    write_mask: np.ndarray | None = None
+    #: opaque payload carried through to the response (model bookkeeping).
+    payload: Any = None
+    #: global issue sequence number, used for FR-FCFS age ordering.
+    seq: int = field(default_factory=lambda: next(_SEQUENCE))
+
+    def __post_init__(self) -> None:
+        if self.addr < 0:
+            raise ValueError("negative address")
+        if self.nbytes <= 0:
+            raise ValueError("non-positive transaction size")
+        if self.is_write and self.write_data is None:
+            raise ValueError("write request without data")
+        if self.write_mask is not None and not self.is_write:
+            raise ValueError("write mask on a read request")
+
+    @property
+    def block_addr(self) -> int:
+        """Address rounded down to the transaction's own granularity."""
+        return self.addr - self.addr % self.nbytes
+
+
+@dataclass(frozen=True)
+class MemResponse:
+    """Completion of one :class:`MemRequest`.
+
+    ``data`` is ``None`` for writes.  ``finish_cycle`` is the memory
+    model's local cycle at which the last data beat transferred.
+    """
+
+    request: MemRequest
+    data: np.ndarray | None
+    finish_cycle: int
+
+    @property
+    def axi_id(self) -> int:
+        return self.request.axi_id

@@ -1,0 +1,16 @@
+"""Cycle-driven simulation kernel.
+
+The kernel follows a two-phase update discipline: during a cycle every
+component's :meth:`~repro.sim.component.Component.tick` runs and may pop
+from and push into :class:`~repro.sim.fifo.Fifo` instances; pushes only
+become visible after the simulator commits the cycle.  This makes
+simulation results independent of the order in which components tick,
+mirroring how registered hardware samples its inputs on a clock edge.
+"""
+
+from .clock import Simulator
+from .component import Component
+from .fifo import Fifo
+from .stats import Counter, StatSet
+
+__all__ = ["Simulator", "Component", "Fifo", "Counter", "StatSet"]

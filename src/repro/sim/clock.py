@@ -1,0 +1,85 @@
+"""The simulator loop driving all components cycle by cycle."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..errors import DeadlockError
+from .component import Component
+
+
+class Simulator:
+    """Drives a set of :class:`Component` instances.
+
+    Each cycle, every component's ``tick`` runs (in registration order),
+    then every owned FIFO commits.  Because pushes are invisible until
+    commit, tick order does not affect results.
+
+    Parameters
+    ----------
+    components:
+        Blocks to simulate, in any order.
+    deadlock_horizon:
+        Abort with :class:`~repro.errors.DeadlockError` if this many
+        consecutive cycles elapse with no FIFO activity anywhere while
+        some component still reports ``busy``.
+    """
+
+    def __init__(
+        self,
+        components: Iterable[Component],
+        deadlock_horizon: int = 100_000,
+    ) -> None:
+        self.components: list[Component] = list(components)
+        self.deadlock_horizon = deadlock_horizon
+        self.cycle = 0
+        self._idle_cycles = 0
+
+    def add(self, component: Component) -> Component:
+        """Register one more component."""
+        self.components.append(component)
+        return component
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance the simulation by ``cycles`` cycles."""
+        from .fifo import Fifo
+
+        for _ in range(cycles):
+            activity_before = Fifo.global_ops
+            for component in self.components:
+                component.tick()
+            for component in self.components:
+                component.commit()
+            self.cycle += 1
+            if Fifo.global_ops == activity_before:
+                self._idle_cycles += 1
+                if (
+                    self._idle_cycles >= self.deadlock_horizon
+                    and any(c.busy for c in self.components)
+                ):
+                    busy = [c.name for c in self.components if c.busy]
+                    raise DeadlockError(
+                        f"no progress for {self._idle_cycles} cycles; "
+                        f"busy components: {busy}"
+                    )
+            else:
+                self._idle_cycles = 0
+
+    def run_until(
+        self,
+        done: Callable[[], bool],
+        max_cycles: int = 50_000_000,
+    ) -> int:
+        """Step until ``done()`` returns True; returns the cycle count.
+
+        Raises :class:`DeadlockError` when ``max_cycles`` elapse first,
+        since the hardware models are expected to converge.
+        """
+        start = self.cycle
+        while not done():
+            if self.cycle - start >= max_cycles:
+                raise DeadlockError(
+                    f"run_until exceeded {max_cycles} cycles without finishing"
+                )
+            self.step()
+        return self.cycle - start

@@ -1,0 +1,60 @@
+"""Component base class for the cycle-driven kernel."""
+
+from __future__ import annotations
+
+from .fifo import Fifo
+
+
+class Component:
+    """A clocked hardware block.
+
+    Subclasses implement :meth:`tick`, which runs once per cycle and may
+    pop from input FIFOs and push into output FIFOs.  FIFOs owned by a
+    component (created through :meth:`make_fifo` or registered with
+    :meth:`adopt_fifo`) are committed automatically by the simulator.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.fifos: list[Fifo] = []
+        self.cycle = 0
+        #: FIFOs with staged pushes this cycle (commit fast path).
+        self._dirty: list[Fifo] = []
+
+    def make_fifo(self, capacity: int | None, label: str) -> Fifo:
+        """Create and register a FIFO owned by this component."""
+        fifo = Fifo(capacity, f"{self.name}.{label}")
+        fifo._dirty_sink = self._dirty
+        self.fifos.append(fifo)
+        return fifo
+
+    def adopt_fifo(self, fifo: Fifo) -> Fifo:
+        """Register an externally created FIFO for commit by this
+        component's simulator."""
+        fifo._dirty_sink = self._dirty
+        self.fifos.append(fifo)
+        return fifo
+
+    def tick(self) -> None:
+        """Advance one cycle.  Subclasses override."""
+        raise NotImplementedError
+
+    def commit(self) -> None:
+        """End-of-cycle commit of the FIFOs that staged pushes."""
+        if self._dirty:
+            for fifo in self._dirty:
+                fifo.commit()
+            self._dirty.clear()
+        self.cycle += 1
+
+    @property
+    def busy(self) -> bool:
+        """True while the component still holds in-flight state.
+
+        The simulator uses this for idle detection; the default
+        implementation reports busy while any owned FIFO holds entries.
+        """
+        return any(not fifo.is_empty for fifo in self.fifos)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} @cycle {self.cycle}>"

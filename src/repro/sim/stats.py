@@ -1,0 +1,51 @@
+"""Lightweight statistics primitives used by the hardware models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing event counter."""
+
+    name: str
+    value: int = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+@dataclass
+class StatSet:
+    """A named bundle of counters with on-demand creation.
+
+    >>> stats = StatSet("dram")
+    >>> stats.add("row_hits", 3)
+    >>> stats["row_hits"]
+    3
+    """
+
+    name: str
+    counters: dict[str, Counter] = field(default_factory=dict)
+
+    def counter(self, key: str) -> Counter:
+        if key not in self.counters:
+            self.counters[key] = Counter(f"{self.name}.{key}")
+        return self.counters[key]
+
+    def add(self, key: str, amount: int = 1) -> None:
+        self.counter(key).add(amount)
+
+    def __getitem__(self, key: str) -> int:
+        return self.counters[key].value if key in self.counters else 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {key: counter.value for key, counter in self.counters.items()}
+
+    def reset(self) -> None:
+        for counter in self.counters.values():
+            counter.reset()

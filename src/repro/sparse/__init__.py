@@ -1,0 +1,27 @@
+"""Sparse-matrix substrate: formats, IO, kernels, and the matrix suite.
+
+The paper evaluates on twenty SuiteSparse/HPCG matrices stored in CSR
+and SELL (sliced ELLPACK, 32 rows per slice) with 32 b indices and 64 b
+values.  This package implements both formats, reference SpMV kernels,
+MatrixMarket IO, and deterministic structure-matched generators standing
+in for the SuiteSparse downloads (no network in this environment).
+"""
+
+from .coo import CooMatrix
+from .csr import CsrMatrix
+from .sell import SellMatrix
+from .spmv import spmv_csr, spmv_sell
+from .suite import MatrixSpec, PAPER_SUITE, FIG4_MATRICES, get_matrix, list_matrices
+
+__all__ = [
+    "CooMatrix",
+    "CsrMatrix",
+    "SellMatrix",
+    "spmv_csr",
+    "spmv_sell",
+    "MatrixSpec",
+    "PAPER_SUITE",
+    "FIG4_MATRICES",
+    "get_matrix",
+    "list_matrices",
+]

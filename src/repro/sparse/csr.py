@@ -1,0 +1,117 @@
+"""Compressed sparse row format with the paper's data widths.
+
+Indices are 32 b (``uint32``) and values 64 b (``float64``), matching
+Sec. III of the paper.  ``index_stream`` exposes the column-index array
+in storage order — the exact stream the AXI-Pack adapter fetches and
+indirects through.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SparseFormatError
+
+
+class CsrMatrix:
+    """CSR matrix: ``row_ptr`` (int64), ``col_idx`` (uint32), ``val``
+    (float64)."""
+
+    INDEX_DTYPE = np.uint32
+    VALUE_DTYPE = np.float64
+
+    def __init__(
+        self,
+        nrows: int,
+        ncols: int,
+        row_ptr: np.ndarray,
+        col_idx: np.ndarray,
+        val: np.ndarray,
+    ) -> None:
+        self.nrows = int(nrows)
+        self.ncols = int(ncols)
+        self.row_ptr = np.ascontiguousarray(row_ptr, dtype=np.int64)
+        self.col_idx = np.ascontiguousarray(col_idx, dtype=self.INDEX_DTYPE)
+        self.val = np.ascontiguousarray(val, dtype=self.VALUE_DTYPE)
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.nrows <= 0 or self.ncols <= 0:
+            raise SparseFormatError("matrix dimensions must be positive")
+        if len(self.row_ptr) != self.nrows + 1:
+            raise SparseFormatError("row_ptr length must be nrows + 1")
+        if self.row_ptr[0] != 0 or self.row_ptr[-1] != len(self.col_idx):
+            raise SparseFormatError("row_ptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.row_ptr) < 0):
+            raise SparseFormatError("row_ptr must be non-decreasing")
+        if len(self.col_idx) != len(self.val):
+            raise SparseFormatError("col_idx and val must have equal length")
+        if len(self.col_idx) and self.col_idx.max() >= self.ncols:
+            raise SparseFormatError("column index out of range")
+
+    # -- shape and statistics ---------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.nrows, self.ncols)
+
+    @property
+    def nnz(self) -> int:
+        return len(self.val)
+
+    @property
+    def density(self) -> float:
+        return self.nnz / (self.nrows * self.ncols)
+
+    def row_lengths(self) -> np.ndarray:
+        return np.diff(self.row_ptr)
+
+    @property
+    def avg_row_length(self) -> float:
+        return self.nnz / self.nrows
+
+    # -- kernels ----------------------------------------------------------
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Reference CSR SpMV: ``y = A @ x``."""
+        x = np.asarray(x, dtype=self.VALUE_DTYPE)
+        if x.shape != (self.ncols,):
+            raise SparseFormatError(f"vector shape {x.shape} != ({self.ncols},)")
+        products = self.val * x[self.col_idx]
+        y = np.zeros(self.nrows, dtype=self.VALUE_DTYPE)
+        np.add.at(y, np.repeat(np.arange(self.nrows), self.row_lengths()), products)
+        return y
+
+    def index_stream(self) -> np.ndarray:
+        """Column indices in storage order (the adapter's indirect
+        stream for CSR SpMV)."""
+        return self.col_idx
+
+    # -- conversions --------------------------------------------------------
+
+    def to_sell(self, chunk: int = 32) -> "SellMatrix":
+        from .sell import SellMatrix
+
+        return SellMatrix.from_csr(self, chunk)
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape)
+        rows = np.repeat(np.arange(self.nrows), self.row_lengths())
+        dense[rows, self.col_idx] = self.val
+        return dense
+
+    # -- memory footprint ---------------------------------------------------
+
+    def footprint_bytes(self) -> dict[str, int]:
+        """Bytes per array as stored in DRAM by the evaluation."""
+        return {
+            "row_ptr": self.row_ptr.nbytes,
+            "col_idx": self.col_idx.nbytes,
+            "val": self.val.nbytes,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CsrMatrix({self.nrows}x{self.ncols}, nnz={self.nnz}, "
+            f"avg_row={self.avg_row_length:.1f})"
+        )

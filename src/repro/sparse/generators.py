@@ -1,0 +1,286 @@
+"""Deterministic sparse-matrix generators, one per structure class.
+
+The paper's twenty evaluation matrices come from SuiteSparse and HPCG.
+This environment has no network access, so each matrix is replaced by a
+synthetic generator matched to its structure class.  What the adapter's
+coalescer actually responds to is the *index-locality statistics* of the
+column-index stream — row lengths, column bandwidth, and column reuse
+across nearby rows — which each generator reproduces:
+
+``banded_fem``
+    Finite-element stiffness matrices (af_shell10, pwtk, BenElechi1,
+    hood, ...): rows of 30-80 entries clustered in short consecutive
+    runs within a band around the diagonal.
+``stencil``
+    Regular grid stencils (HPCG 27-point, fv1 9-point): fixed neighbour
+    offsets on a structured grid.
+``circuit``
+    Post-layout circuit matrices (circuit5M_dc, G3_circuit): very short
+    rows near the diagonal, occasional long-range couplings, and a few
+    high-degree hub columns (supply nets) shared by many rows.
+``mesh``
+    Irregular meshes (adaptive, thermal2): low fixed degree with
+    gaussian-distributed neighbour distance.
+``kkt``
+    KKT/saddle-point systems (nlpkkt120): 2x2 block structure with a
+    banded (1,1) block and off-diagonal coupling bands at distance n/2.
+``dense_block``
+    Nearly-dense band matrices (exdata_1, Na5, nasa4704, msc*): wide
+    contiguous bands giving extreme index locality.
+
+All generators are deterministic for a given seed and matrix size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SparseFormatError
+from .coo import CooMatrix
+from .csr import CsrMatrix
+
+
+def _finish(
+    nrows: int,
+    ncols: int,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    rng: np.random.Generator,
+) -> CsrMatrix:
+    """Assemble COO triples with random values and add a diagonal."""
+    diag = np.arange(min(nrows, ncols), dtype=np.int64)
+    rows = np.concatenate([rows, diag])
+    cols = np.concatenate([cols, diag])
+    vals = rng.uniform(-1.0, 1.0, size=len(rows))
+    return CooMatrix(nrows, ncols, rows, cols, vals).to_csr()
+
+
+def banded_fem(
+    n: int,
+    avg_row: float = 35.0,
+    band: int = 2000,
+    run: int = 3,
+    group: int = 16,
+    seed: int = 0,
+) -> CsrMatrix:
+    """Block-banded finite-element-like matrix.
+
+    Each row holds roughly ``avg_row`` entries arranged as short runs of
+    ``run`` consecutive columns whose bases fall within ``band`` of the
+    diagonal.  Rows come in *groups* of ``group`` consecutive rows that
+    share the same column runs — the degrees of freedom of one element
+    patch couple to the same nodes — which is the row-to-row column
+    reuse that near-memory coalescing exploits in both CSR and SELL
+    traversal orders.
+    """
+    if n <= 0:
+        raise SparseFormatError("n must be positive")
+    rng = np.random.default_rng(seed)
+    band = max(run + 1, min(band, n))
+    group = max(1, group)
+    runs_per_row = max(1, int(round(avg_row / run)))
+    num_groups = -(-n // group)
+
+    # Shared runs per group, anchored at the group's first row.
+    group_bases = rng.integers(-(band // 2), band // 2, size=(num_groups, runs_per_row))
+    anchors = (np.arange(num_groups) * group)[:, None]
+    group_starts = np.clip(anchors + group_bases, 0, n - run)
+
+    # Per-row jitter: neighbouring degrees of freedom couple to the same
+    # element patch but not to literally identical node sets.
+    row_groups = np.arange(n) // group
+    jitter = rng.integers(-4, 5, size=(n, 1))
+    starts = np.clip(group_starts[row_groups] + jitter, 0, n - run)
+    cols = (starts[:, :, None] + np.arange(run)[None, None, :]).reshape(n, -1)
+    rows = np.repeat(np.arange(n), runs_per_row * run)
+    return _finish(n, n, rows, cols.reshape(-1), rng)
+
+
+def stencil(nx: int, ny: int, nz: int = 1, points: int = 27, seed: int = 0) -> CsrMatrix:
+    """Regular-grid stencil matrix (HPCG is the 27-point variant).
+
+    ``points`` selects 27 (3-D cube), 9 (2-D box) or 5 (2-D cross).
+    """
+    if points not in (5, 9, 27):
+        raise SparseFormatError("points must be 5, 9 or 27")
+    rng = np.random.default_rng(seed)
+    if points == 27:
+        offsets = [
+            (dx, dy, dz)
+            for dz in (-1, 0, 1)
+            for dy in (-1, 0, 1)
+            for dx in (-1, 0, 1)
+        ]
+    elif points == 9:
+        offsets = [(dx, dy, 0) for dy in (-1, 0, 1) for dx in (-1, 0, 1)]
+    else:
+        offsets = [(0, 0, 0), (1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0)]
+
+    n = nx * ny * nz
+    ix, iy, iz = np.meshgrid(
+        np.arange(nx), np.arange(ny), np.arange(nz), indexing="ij"
+    )
+    ix, iy, iz = ix.reshape(-1), iy.reshape(-1), iz.reshape(-1)
+    point_ids = (iz * ny + iy) * nx + ix
+
+    rows_parts = []
+    cols_parts = []
+    for dx, dy, dz in offsets:
+        jx, jy, jz = ix + dx, iy + dy, iz + dz
+        valid = (
+            (jx >= 0) & (jx < nx) & (jy >= 0) & (jy < ny) & (jz >= 0) & (jz < nz)
+        )
+        rows_parts.append(point_ids[valid])
+        cols_parts.append(((jz * ny + jy) * nx + jx)[valid])
+    rows = np.concatenate(rows_parts)
+    cols = np.concatenate(cols_parts)
+    return _finish(n, n, rows, cols, rng)
+
+
+def circuit(
+    n: int,
+    avg_row: float = 4.0,
+    local_band: int = 64,
+    num_hubs: int = 4,
+    hub_prob: float = 0.08,
+    far_prob: float = 0.05,
+    seed: int = 0,
+) -> CsrMatrix:
+    """Circuit-simulation-like matrix.
+
+    Mostly very short near-diagonal rows, a small probability of a
+    long-range coupling, and a handful of hub columns (supply nets)
+    touched by a large fraction of rows — the pattern that gives
+    circuit matrices their poor streaming locality.
+    """
+    rng = np.random.default_rng(seed)
+    local_per_row = max(1, int(round(avg_row)) - 1)
+    local_band = max(2, min(local_band, n))
+
+    offs = rng.integers(-local_band, local_band + 1, size=(n, local_per_row))
+    cols_local = np.clip(np.arange(n)[:, None] + offs, 0, n - 1)
+    rows_local = np.repeat(np.arange(n), local_per_row)
+
+    hub_cols = rng.integers(0, n, size=max(1, num_hubs))
+    hub_rows = np.flatnonzero(rng.random(n) < hub_prob)
+    hub_choice = hub_cols[rng.integers(0, len(hub_cols), size=len(hub_rows))]
+
+    far_rows = np.flatnonzero(rng.random(n) < far_prob)
+    far_cols = rng.integers(0, n, size=len(far_rows))
+
+    rows = np.concatenate([rows_local, hub_rows, far_rows])
+    cols = np.concatenate([cols_local.reshape(-1), hub_choice, far_cols])
+    return _finish(n, n, rows, cols, rng)
+
+
+def mesh(
+    n: int,
+    avg_row: float = 6.0,
+    spread: float = 400.0,
+    group: int = 4,
+    seed: int = 0,
+) -> CsrMatrix:
+    """Irregular-mesh matrix: low degree, gaussian neighbour distance.
+
+    Small groups of consecutive rows (cells of one refined patch) share
+    part of their neighbour set; the rest is drawn per row, keeping the
+    stream locality poor — these matrices are among the paper's weakest
+    coalescers.
+    """
+    rng = np.random.default_rng(seed)
+    per_row = max(1, int(round(avg_row)) - 1)
+    shared = per_row // 2
+    unique = per_row - shared
+    spread = max(1.0, min(spread, n / 2))
+    group = max(1, group)
+    num_groups = -(-n // group)
+
+    cols_parts = []
+    rows_parts = []
+    if shared:
+        group_offs = np.rint(
+            rng.normal(0.0, spread, size=(num_groups, shared))
+        ).astype(np.int64)
+        anchors = (np.arange(num_groups) * group)[:, None]
+        shared_cols = np.clip(anchors + group_offs, 0, n - 1)
+        row_groups = np.arange(n) // group
+        cols_parts.append(shared_cols[row_groups].reshape(-1))
+        rows_parts.append(np.repeat(np.arange(n), shared))
+    if unique:
+        offs = np.rint(rng.normal(0.0, spread, size=(n, unique))).astype(np.int64)
+        cols_parts.append(np.clip(np.arange(n)[:, None] + offs, 0, n - 1).reshape(-1))
+        rows_parts.append(np.repeat(np.arange(n), unique))
+    return _finish(
+        n, n, np.concatenate(rows_parts), np.concatenate(cols_parts), rng
+    )
+
+
+def kkt(
+    n: int,
+    avg_row: float = 14.0,
+    band: int = 300,
+    group: int = 8,
+    seed: int = 0,
+) -> CsrMatrix:
+    """KKT / saddle-point structure: [[H, A^T], [A, 0]].
+
+    The first half carries a banded Hessian block (with row-group
+    column sharing as in FEM matrices); constraint rows in the second
+    half couple back into the first half, producing two well-separated
+    index clusters per window — the pattern that makes nlpkkt matrices
+    mid-pack for coalescing.
+    """
+    rng = np.random.default_rng(seed)
+    half = max(2, n // 2)
+    per_row = max(2, int(round(avg_row)) - 1)
+    band = max(2, min(band, half))
+    group = max(1, group)
+
+    row_idx = np.arange(n)
+    num_groups = -(-n // group)
+    group_offs = rng.integers(-band, band + 1, size=(num_groups, per_row))
+    offs = group_offs[row_idx // group]
+    anchor = np.where(row_idx < half, row_idx, row_idx - half)[:, None]
+    anchor = (anchor // group) * group  # group-shared anchor
+    cols_h = np.clip(anchor + offs, 0, half - 1)
+
+    # Constraint coupling: upper rows also reference the lower block and
+    # vice versa, at mirrored positions.
+    couple = np.clip(anchor + rng.integers(-band, band + 1, size=(n, 2)), 0, half - 1)
+    couple = np.where(row_idx[:, None] < half, couple + half, couple)
+    couple = np.clip(couple, 0, n - 1)
+
+    rows = np.concatenate(
+        [np.repeat(row_idx, per_row), np.repeat(row_idx, 2)]
+    )
+    cols = np.concatenate([cols_h.reshape(-1), couple.reshape(-1)])
+    return _finish(n, n, rows, cols, rng)
+
+
+def dense_block(
+    n: int,
+    avg_row: float = 200.0,
+    seed: int = 0,
+) -> CsrMatrix:
+    """Wide band: nearly dense rows with extreme locality.
+
+    A small per-row offset and ~10 % random dropout keep the band from
+    being perfectly contiguous, as in the real matrices of this class.
+    """
+    rng = np.random.default_rng(seed)
+    width = max(2, min(int(round(avg_row * 1.1)), n))
+    jitter = rng.integers(-8, 9, size=n)
+    starts = np.clip(np.arange(n) - width // 2 + jitter, 0, max(0, n - width))
+    cols = starts[:, None] + np.arange(width)[None, :]
+    keep = rng.random(cols.shape) > 0.1
+    rows = np.repeat(np.arange(n), width)
+    return _finish(n, n, rows[keep.reshape(-1)], cols.reshape(-1)[keep.reshape(-1)], rng)
+
+
+def random_uniform(n: int, avg_row: float = 8.0, seed: int = 0) -> CsrMatrix:
+    """Uniformly random columns — worst-case locality control."""
+    rng = np.random.default_rng(seed)
+    per_row = max(1, int(round(avg_row)))
+    cols = rng.integers(0, n, size=(n, per_row))
+    rows = np.repeat(np.arange(n), per_row)
+    return _finish(n, n, rows, cols.reshape(-1), rng)

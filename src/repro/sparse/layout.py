@@ -1,0 +1,116 @@
+"""DRAM layout of SpMV working sets.
+
+Places the arrays of a CSR or SELL SpMV into a
+:class:`~repro.mem.BackingStore` exactly as the evaluation stores them
+in HBM: 32 b indices, 64 b values/metadata, 64 B alignment.  The
+returned layout carries the base addresses the adapter and system
+models need to form index and element streams, plus per-array byte
+counts for the traffic accounting of Fig. 5b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mem.backing_store import BackingStore
+from .csr import CsrMatrix
+from .sell import SellMatrix
+
+
+@dataclass(frozen=True)
+class SpmvLayout:
+    """Addresses and sizes of one SpMV working set in DRAM."""
+
+    fmt: str
+    ptr_base: int
+    idx_base: int
+    val_base: int
+    vec_base: int
+    result_base: int
+    ptr_bytes: int
+    idx_bytes: int
+    val_bytes: int
+    vec_bytes: int
+    result_bytes: int
+    #: number of stored index entries (padded count for SELL).
+    num_entries: int
+    nrows: int
+    ncols: int
+
+    @property
+    def total_input_bytes(self) -> int:
+        """Bytes that must move on-chip at least once (excl. result)."""
+        return self.ptr_bytes + self.idx_bytes + self.val_bytes + self.vec_bytes
+
+    @property
+    def ideal_traffic_bytes(self) -> int:
+        """Minimum off-chip traffic: every input byte once, every
+        result byte written once."""
+        return self.total_input_bytes + self.result_bytes
+
+
+def _place(store: BackingStore, array: np.ndarray) -> tuple[int, int]:
+    base = store.alloc_array(array, align=64)
+    return base, array.nbytes
+
+
+def layout_csr(
+    store: BackingStore, matrix: CsrMatrix, vec: np.ndarray | None = None
+) -> SpmvLayout:
+    """Allocate row_ptr / col_idx / val / vec / result for CSR SpMV."""
+    if vec is None:
+        vec = np.arange(1, matrix.ncols + 1, dtype=np.float64)
+    ptr_base, ptr_bytes = _place(store, matrix.row_ptr)
+    idx_base, idx_bytes = _place(store, matrix.col_idx)
+    val_base, val_bytes = _place(store, matrix.val)
+    vec_base, vec_bytes = _place(store, np.asarray(vec, dtype=np.float64))
+    result = np.zeros(matrix.nrows, dtype=np.float64)
+    result_base, result_bytes = _place(store, result)
+    return SpmvLayout(
+        fmt="csr",
+        ptr_base=ptr_base,
+        idx_base=idx_base,
+        val_base=val_base,
+        vec_base=vec_base,
+        result_base=result_base,
+        ptr_bytes=ptr_bytes,
+        idx_bytes=idx_bytes,
+        val_bytes=val_bytes,
+        vec_bytes=vec_bytes,
+        result_bytes=result_bytes,
+        num_entries=matrix.nnz,
+        nrows=matrix.nrows,
+        ncols=matrix.ncols,
+    )
+
+
+def layout_sell(
+    store: BackingStore, matrix: SellMatrix, vec: np.ndarray | None = None
+) -> SpmvLayout:
+    """Allocate slice_ptr / col_idx / val / vec / result for SELL SpMV."""
+    if vec is None:
+        vec = np.arange(1, matrix.ncols + 1, dtype=np.float64)
+    ptr_base, ptr_bytes = _place(store, matrix.slice_ptr)
+    idx_base, idx_bytes = _place(store, matrix.col_idx)
+    val_base, val_bytes = _place(store, matrix.val)
+    vec_base, vec_bytes = _place(store, np.asarray(vec, dtype=np.float64))
+    result = np.zeros(matrix.nrows, dtype=np.float64)
+    result_base, result_bytes = _place(store, result)
+    return SpmvLayout(
+        fmt="sell",
+        ptr_base=ptr_base,
+        idx_base=idx_base,
+        val_base=val_base,
+        vec_base=vec_base,
+        result_base=result_base,
+        ptr_bytes=ptr_bytes,
+        idx_bytes=idx_bytes,
+        val_bytes=val_bytes,
+        vec_bytes=vec_bytes,
+        result_bytes=result_bytes,
+        num_entries=matrix.padded_nnz,
+        nrows=matrix.nrows,
+        ncols=matrix.ncols,
+    )

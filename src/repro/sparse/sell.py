@@ -1,0 +1,192 @@
+"""Sliced ELLPACK (SELL) format, 32 rows per slice (paper Sec. III).
+
+Rows are grouped into chunks of ``C`` (32) consecutive rows; each slice
+is stored dense at the width of its longest row, column-of-slice major:
+for slice ``s`` and slice-column ``c`` the ``C`` entries for rows
+``s*C .. s*C+C-1`` are contiguous.  That storage order is exactly the
+order the vector unit consumes entries and therefore the order of the
+adapter's indirect index stream.
+
+Padding entries repeat the row's last valid column index with a zero
+value, so padded SpMV is exact and padded indirect accesses stay local
+(they re-touch a block the row already touched, as a hardware
+implementation would do to avoid polluting the stream with address 0).
+Rows that are entirely empty pad with column 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SparseFormatError
+from .csr import CsrMatrix
+
+
+class SellMatrix:
+    """SELL-C (sigma = 1, i.e. no row sorting) matrix."""
+
+    INDEX_DTYPE = np.uint32
+    VALUE_DTYPE = np.float64
+
+    def __init__(
+        self,
+        nrows: int,
+        ncols: int,
+        chunk: int,
+        slice_ptr: np.ndarray,
+        slice_widths: np.ndarray,
+        col_idx: np.ndarray,
+        val: np.ndarray,
+        true_nnz: int,
+    ) -> None:
+        self.nrows = int(nrows)
+        self.ncols = int(ncols)
+        self.chunk = int(chunk)
+        #: entry offset of each slice into col_idx/val (len = nslices + 1).
+        self.slice_ptr = np.ascontiguousarray(slice_ptr, dtype=np.int64)
+        self.slice_widths = np.ascontiguousarray(slice_widths, dtype=np.int64)
+        self.col_idx = np.ascontiguousarray(col_idx, dtype=self.INDEX_DTYPE)
+        self.val = np.ascontiguousarray(val, dtype=self.VALUE_DTYPE)
+        self.true_nnz = int(true_nnz)
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.chunk <= 0:
+            raise SparseFormatError("chunk size must be positive")
+        if len(self.slice_ptr) != self.nslices + 1:
+            raise SparseFormatError("slice_ptr length must be nslices + 1")
+        expected = self.slice_widths * self.chunk
+        if np.any(np.diff(self.slice_ptr) != expected):
+            raise SparseFormatError("slice_ptr inconsistent with slice widths")
+        if self.slice_ptr[-1] != len(self.col_idx):
+            raise SparseFormatError("slice_ptr must end at the padded nnz")
+        if len(self.col_idx) != len(self.val):
+            raise SparseFormatError("col_idx and val must have equal length")
+
+    # -- shape ---------------------------------------------------------------
+
+    @property
+    def nslices(self) -> int:
+        return -(-self.nrows // self.chunk)
+
+    @property
+    def padded_nnz(self) -> int:
+        """Stored entries including padding."""
+        return len(self.col_idx)
+
+    @property
+    def padding_overhead(self) -> float:
+        """Padded / true nonzero ratio (1.0 = no padding)."""
+        if self.true_nnz == 0:
+            return 1.0
+        return self.padded_nnz / self.true_nnz
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_csr(cls, csr: CsrMatrix, chunk: int = 32) -> "SellMatrix":
+        nrows, ncols = csr.shape
+        nslices = -(-nrows // chunk)
+        row_lengths = csr.row_lengths()
+
+        slice_widths = np.zeros(nslices, dtype=np.int64)
+        for s in range(nslices):
+            lo, hi = s * chunk, min((s + 1) * chunk, nrows)
+            slice_widths[s] = row_lengths[lo:hi].max() if hi > lo else 0
+
+        slice_ptr = np.zeros(nslices + 1, dtype=np.int64)
+        np.cumsum(slice_widths * chunk, out=slice_ptr[1:])
+
+        col_idx = np.zeros(slice_ptr[-1], dtype=cls.INDEX_DTYPE)
+        val = np.zeros(slice_ptr[-1], dtype=cls.VALUE_DTYPE)
+
+        for s in range(nslices):
+            width = slice_widths[s]
+            if width == 0:
+                continue
+            base = slice_ptr[s]
+            for r_local in range(chunk):
+                row = s * chunk + r_local
+                # Destination stride: column-of-slice major layout.
+                dst = base + r_local + np.arange(width) * chunk
+                if row >= nrows or row_lengths[row] == 0:
+                    col_idx[dst] = 0
+                    continue
+                lo, hi = csr.row_ptr[row], csr.row_ptr[row + 1]
+                length = hi - lo
+                col_idx[dst[:length]] = csr.col_idx[lo:hi]
+                val[dst[:length]] = csr.val[lo:hi]
+                # Pad by repeating the last valid index with value 0.
+                col_idx[dst[length:]] = csr.col_idx[hi - 1]
+        return cls(
+            nrows, ncols, chunk, slice_ptr, slice_widths, col_idx, val, csr.nnz
+        )
+
+    # -- kernels ------------------------------------------------------------
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Reference SELL SpMV: ``y = A @ x``."""
+        x = np.asarray(x, dtype=self.VALUE_DTYPE)
+        if x.shape != (self.ncols,):
+            raise SparseFormatError(f"vector shape {x.shape} != ({self.ncols},)")
+        y = np.zeros(self.nslices * self.chunk, dtype=self.VALUE_DTYPE)
+        for s in range(self.nslices):
+            width = self.slice_widths[s]
+            if width == 0:
+                continue
+            base = self.slice_ptr[s]
+            block_vals = self.val[base : base + width * self.chunk]
+            block_cols = self.col_idx[base : base + width * self.chunk]
+            contrib = (block_vals * x[block_cols]).reshape(width, self.chunk)
+            y[s * self.chunk : (s + 1) * self.chunk] += contrib.sum(axis=0)
+        return y[: self.nrows]
+
+    def index_stream(self) -> np.ndarray:
+        """Column indices in storage order (the adapter's indirect
+        stream for SELL SpMV)."""
+        return self.col_idx
+
+    def to_csr(self) -> CsrMatrix:
+        """Convert back to CSR, dropping padding entries."""
+        rows = []
+        cols = []
+        vals = []
+        for s in range(self.nslices):
+            width = int(self.slice_widths[s])
+            if width == 0:
+                continue
+            base = int(self.slice_ptr[s])
+            block = slice(base, base + width * self.chunk)
+            local_rows = np.tile(np.arange(self.chunk), width) + s * self.chunk
+            keep = (self.val[block] != 0) & (local_rows < self.nrows)
+            rows.append(local_rows[keep])
+            cols.append(self.col_idx[block][keep])
+            vals.append(self.val[block][keep])
+        from .coo import CooMatrix
+
+        if not rows:
+            return CooMatrix(self.nrows, self.ncols).to_csr()
+        coo = CooMatrix(
+            self.nrows,
+            self.ncols,
+            np.concatenate(rows),
+            np.concatenate(cols),
+            np.concatenate(vals),
+        )
+        return coo.to_csr()
+
+    # -- memory footprint ------------------------------------------------------
+
+    def footprint_bytes(self) -> dict[str, int]:
+        """Bytes per array as stored in DRAM by the evaluation."""
+        return {
+            "slice_ptr": self.slice_ptr.nbytes,
+            "col_idx": self.col_idx.nbytes,
+            "val": self.val.nbytes,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SellMatrix({self.nrows}x{self.ncols}, C={self.chunk}, "
+            f"nnz={self.true_nnz}, padded={self.padded_nnz})"
+        )

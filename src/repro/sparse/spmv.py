@@ -1,0 +1,46 @@
+"""Reference SpMV kernels (golden models for all system simulations).
+
+``spmv_csr_scalar`` is a direct transcription of the paper's Figure 1
+pseudocode and serves as the golden model the vectorised kernels and the
+simulated systems are checked against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CsrMatrix
+from .sell import SellMatrix
+
+
+def spmv_csr_scalar(matrix: CsrMatrix, x: np.ndarray) -> np.ndarray:
+    """Naive scalar CSR SpMV (paper Fig. 1 pseudocode).
+
+    For each row i:
+        result[i] = 0
+        for j from row_ptr[i] to row_ptr[i+1]:
+            result[i] += val[j] * vec[col_idx[j]]
+    """
+    x = np.asarray(x, dtype=np.float64)
+    result = np.zeros(matrix.nrows)
+    for i in range(matrix.nrows):
+        acc = 0.0
+        for j in range(matrix.row_ptr[i], matrix.row_ptr[i + 1]):
+            acc += matrix.val[j] * x[matrix.col_idx[j]]
+        result[i] = acc
+    return result
+
+
+def spmv_csr(matrix: CsrMatrix, x: np.ndarray) -> np.ndarray:
+    """Vectorised CSR SpMV."""
+    return matrix.spmv(x)
+
+
+def spmv_sell(matrix: SellMatrix, x: np.ndarray) -> np.ndarray:
+    """Vectorised SELL SpMV."""
+    return matrix.spmv(x)
+
+
+def spmv_flops(nnz: int) -> int:
+    """FLOP count of one SpMV: one multiply and one add per nonzero."""
+    return 2 * nnz

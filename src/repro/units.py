@@ -1,0 +1,82 @@
+"""Unit helpers shared across the package.
+
+All sizes inside the simulator are kept in *bytes* and all times in
+*cycles* of the 1 GHz system clock; these helpers convert to and from the
+human-facing units used by the paper (GB/s, KiB, bits).
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: Bytes in one gigabyte as used by bandwidth figures (decimal GB).
+GB = 1_000_000_000
+
+
+def bits_to_bytes(bits: int) -> int:
+    """Convert a bit count to bytes, requiring byte alignment.
+
+    >>> bits_to_bytes(512)
+    64
+    """
+    if bits % 8:
+        raise ValueError(f"bit count {bits} is not a whole number of bytes")
+    return bits // 8
+
+
+def bytes_to_bits(nbytes: int) -> int:
+    """Convert a byte count to bits."""
+    return nbytes * 8
+
+
+def bandwidth_gbps(nbytes: int, cycles: int, freq_hz: float = 1e9) -> float:
+    """Effective bandwidth in GB/s for ``nbytes`` moved in ``cycles``.
+
+    ``freq_hz`` is the clock frequency; the paper's systems run at 1 GHz
+    so one cycle is one nanosecond by default.
+
+    >>> bandwidth_gbps(32, 1)
+    32.0
+    """
+    if cycles <= 0:
+        raise ValueError("cycle count must be positive")
+    seconds = cycles / freq_hz
+    return nbytes / seconds / GB
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division.
+
+    >>> ceil_div(7, 4)
+    2
+    """
+    if b <= 0:
+        raise ValueError("divisor must be positive")
+    return -(-a // b)
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is a positive power of two.
+
+    >>> is_power_of_two(256)
+    True
+    >>> is_power_of_two(0)
+    False
+    """
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def format_bytes(nbytes: float) -> str:
+    """Human-readable byte count (binary units).
+
+    >>> format_bytes(27 * 1024)
+    '27.0 KiB'
+    """
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}"
+        value /= 1024
+    raise AssertionError("unreachable")

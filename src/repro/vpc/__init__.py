@@ -1,0 +1,25 @@
+"""Vector-processor system models (paper Sec. II-C and Sec. III).
+
+* :class:`~repro.vpc.system.PackSystem` — CVA6 + Ara behind an L2 SPM
+  with a double-buffering AXI-Pack prefetcher (the paper's pack0 /
+  pack64 / pack256 systems, parameterised by adapter variant).
+* :class:`~repro.vpc.baseline.BaselineSystem` — the same core behind a
+  1 MiB LLC running naive coupled CSR SpMV (the paper's base system).
+
+Both produce a :class:`~repro.vpc.result.SpmvRunResult` with runtime,
+indirect-access time, off-chip traffic, and bandwidth utilization — the
+quantities of Figs. 5a and 5b.
+"""
+
+from .baseline import BaselineSystem
+from .llc import LruCache
+from .result import SpmvRunResult
+from .system import PackSystem, PACK_SYSTEMS
+
+__all__ = [
+    "BaselineSystem",
+    "LruCache",
+    "SpmvRunResult",
+    "PackSystem",
+    "PACK_SYSTEMS",
+]

@@ -1,0 +1,57 @@
+"""Ara vector-core timing model.
+
+The paper's VPC couples a CVA6 scalar core with the Ara vector
+coprocessor (16 lanes, one 64 b FMA per lane per cycle).  For tiled
+SELL SpMV the kernel is a stream of vector multiply-accumulate (VMAC)
+operations over slice columns: each slice column is a ``chunk``-element
+vector op that retires ``lanes`` elements per cycle.
+
+For the baseline's naive CSR kernel the dominant cost is the coupled
+indexed gather (``vluxei``), which Ara processes roughly one element
+per cycle when data is on chip, plus a per-row strip-mine/reduction
+overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import VpcConfig
+from ..units import ceil_div
+
+
+@dataclass(frozen=True)
+class AraTimingModel:
+    """Analytic Ara timing for the kernels of the evaluation."""
+
+    config: VpcConfig
+
+    def sell_compute_cycles(self, entries: int, nslices: int, chunk: int = 32) -> float:
+        """Cycles to VMAC ``entries`` stored SELL entries.
+
+        ``entries / lanes`` covers the arithmetic; each slice pays a
+        bookkeeping overhead (slice-pointer handling, ``vsetvl``), and
+        each slice column an issue overhead amortised by chaining.
+        """
+        if entries == 0:
+            return 0.0
+        vmac = entries / self.config.lanes
+        slice_cols = ceil_div(entries, chunk)
+        issue = slice_cols * self.config.vector_issue_overhead / 8  # chained
+        bookkeeping = nslices * self.config.slice_overhead_cycles
+        return vmac + issue + bookkeeping
+
+    def csr_row_overhead_cycles(self, nrows: int) -> float:
+        """Per-row strip-mine + reduction overhead of the naive CSR
+        kernel (scalar loop control on CVA6, vector reduction on Ara)."""
+        per_row = 2 * self.config.vector_issue_overhead + 3
+        return nrows * per_row
+
+    def csr_arithmetic_cycles(self, nnz: int) -> float:
+        """VMAC cycles of the naive kernel (same FLOPs, vector lanes)."""
+        return nnz / self.config.lanes
+
+    def gather_cycles_on_hit(self, elements: int, cpi: float = 1.0) -> float:
+        """Coupled indexed-gather cost when elements are on chip: Ara's
+        VLSU sustains about one indexed element per cycle."""
+        return elements * cpi

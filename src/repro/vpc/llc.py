@@ -1,0 +1,69 @@
+"""Set-associative LRU cache model (the baseline's 1 MiB LLC)."""
+
+from __future__ import annotations
+
+from ..config import BaselineConfig
+from ..errors import ConfigError
+from ..sim.stats import StatSet
+from ..units import is_power_of_two
+
+
+class LruCache:
+    """A classic set-associative LRU cache over 64 B lines.
+
+    The model tracks hits and misses only (no timing); the baseline
+    system converts miss counts into DRAM time and off-chip traffic.
+    """
+
+    def __init__(self, size_bytes: int, ways: int = 8, line_bytes: int = 64) -> None:
+        if size_bytes % (ways * line_bytes):
+            raise ConfigError("cache size must divide into ways * line size")
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.num_sets = size_bytes // (ways * line_bytes)
+        if not is_power_of_two(self.num_sets):
+            raise ConfigError("set count must be a power of two")
+        self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+        self.stats = StatSet("llc")
+
+    @classmethod
+    def from_config(cls, config: BaselineConfig) -> "LruCache":
+        return cls(config.llc_bytes, config.llc_ways, config.line_bytes)
+
+    def access(self, addr: int) -> bool:
+        """Touch one address; returns True on hit.  LRU update on hit,
+        LRU eviction on miss."""
+        line = addr // self.line_bytes
+        ways = self._sets[line & (self.num_sets - 1)]
+        try:
+            ways.remove(line)
+            ways.append(line)
+            self.stats.add("hits")
+            return True
+        except ValueError:
+            ways.append(line)
+            if len(ways) > self.ways:
+                ways.pop(0)
+                self.stats.add("evictions")
+            self.stats.add("misses")
+            return False
+
+    def access_block_stream(self, lines: list[int] | "object") -> tuple[int, int]:
+        """Touch a sequence of line ids; returns (hits, misses)."""
+        hits = misses = 0
+        for line_id in lines:
+            if self.access(int(line_id) * self.line_bytes):
+                hits += 1
+            else:
+                misses += 1
+        return hits, misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.stats["hits"] + self.stats["misses"]
+        return self.stats["hits"] / total if total else 0.0
+
+    def reset(self) -> None:
+        self._sets = [[] for _ in range(self.num_sets)]
+        self.stats.reset()

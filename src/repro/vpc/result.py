@@ -1,0 +1,71 @@
+"""Result record shared by the pack and baseline system models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import DramConfig
+from ..units import GB
+
+
+@dataclass
+class SpmvRunResult:
+    """Timing and traffic of one SpMV execution on a system model."""
+
+    system: str
+    matrix: str
+    fmt: str
+    nnz: int
+    #: stored entries the kernel actually processes (padded for SELL).
+    entries: int
+    runtime_cycles: float
+    #: cycles attributable to transferring the indirect stream (paper:
+    #: counted from the prefetcher on pack systems, from the VLSU's
+    #: index fetch + gather on the base system).
+    indirect_cycles: float
+    #: total off-chip traffic in bytes.
+    traffic_bytes: float
+    #: minimum possible off-chip traffic (every byte moved once).
+    ideal_traffic_bytes: float
+    freq_hz: float = 1.0e9
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        return self.runtime_cycles / self.freq_hz
+
+    @property
+    def gflops(self) -> float:
+        """SpMV performance: 2 FLOPs per true nonzero."""
+        return 2 * self.nnz / self.seconds / 1e9
+
+    @property
+    def traffic_vs_ideal(self) -> float:
+        """Fig. 5b metric: off-chip traffic relative to the ideal."""
+        if self.ideal_traffic_bytes <= 0:
+            return 0.0
+        return self.traffic_bytes / self.ideal_traffic_bytes
+
+    def bandwidth_utilization(self, dram: DramConfig | None = None) -> float:
+        """Fig. 5b metric: mean off-chip bandwidth / channel peak."""
+        peak = (dram or DramConfig()).peak_bandwidth_gbps
+        achieved = self.traffic_bytes / self.seconds / GB
+        return min(1.0, achieved / peak)
+
+    @property
+    def indirect_fraction(self) -> float:
+        """Fraction of runtime spent on indirect access (Fig. 5a)."""
+        if self.runtime_cycles <= 0:
+            return 0.0
+        return min(1.0, self.indirect_cycles / self.runtime_cycles)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "system": self.system,
+            "matrix": self.matrix,
+            "runtime_cycles": round(self.runtime_cycles),
+            "indirect_fraction": round(self.indirect_fraction, 3),
+            "gflops": round(self.gflops, 3),
+            "traffic_vs_ideal": round(self.traffic_vs_ideal, 3),
+            "bw_utilization": round(self.bandwidth_utilization(), 3),
+        }

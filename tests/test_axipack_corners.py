@@ -1,0 +1,123 @@
+"""Coalescer corner behaviours: watchdog, partial windows, carry,
+refresh interplay, and failure injection on the cycle model."""
+
+import numpy as np
+import pytest
+
+from repro.axipack.adapter import build_indirect_system
+from repro.axipack import run_indirect_stream
+from repro.config import (
+    AdapterConfig,
+    CoalescerConfig,
+    DramConfig,
+    mlp_config,
+)
+from repro.errors import SimulationError
+
+from conftest import banded_stream
+
+
+def _coalescer_stats(adapter):
+    return adapter.element_path.stats
+
+
+class TestWatchdogAndTails:
+    def test_watchdog_flushes_final_warp(self):
+        """The last open warp has no miss to force its issue — the
+        watchdog must flush it or the stream never completes."""
+        idx = np.full(64, 5, dtype=np.uint32)  # merges into few warps
+        sim, adapter, _, _ = build_indirect_system(idx, mlp_config(64))
+        sim.run_until(lambda: adapter.done, max_cycles=1_000_000)
+        assert _coalescer_stats(adapter)["watchdog_issues"] >= 1
+
+    def test_partial_window_on_ragged_tail(self):
+        idx = banded_stream(100)  # 100 % 64 != 0
+        sim, adapter, _, _ = build_indirect_system(idx, mlp_config(64))
+        sim.run_until(lambda: adapter.done, max_cycles=1_000_000)
+        assert _coalescer_stats(adapter)["partial_windows"] >= 1
+
+    def test_aligned_stream_has_no_midstream_partials(self):
+        """With the auto regulator timeout (2W), mid-stream windows
+        always fill; only the tail may be partial."""
+        idx = banded_stream(64 * 20)
+        sim, adapter, _, _ = build_indirect_system(idx, mlp_config(64))
+        sim.run_until(lambda: adapter.done, max_cycles=1_000_000)
+        assert _coalescer_stats(adapter)["partial_windows"] == 0
+
+    def test_tail_cycles_bounded_by_timeouts(self):
+        """After the last element request, completion takes at most
+        regulator + watchdog timeouts plus the DRAM round trip."""
+        cc = CoalescerConfig(window=64, regulator_timeout=50, watchdog_timeout=50)
+        config = AdapterConfig(coalescer=cc)
+        idx = banded_stream(130)
+        metrics = run_indirect_stream(idx, config)
+        assert metrics.cycles < 130 * 3 + 50 + 50 + 400
+
+
+class TestCshrCarry:
+    def test_carry_merges_across_windows(self):
+        """A run of identical blocks spanning several windows must
+        produce far fewer wide accesses than windows."""
+        idx = np.repeat(np.arange(4, dtype=np.uint32), 512)  # 4 blocks total
+        metrics = run_indirect_stream(idx, mlp_config(64))
+        # 2048 requests, 32 windows; without carry >= 32 accesses.
+        # With carry and per-slot metadata budget (2048/64 = 32 per
+        # slot), far fewer.
+        assert metrics.elem_txns <= 12
+
+    def test_metadata_budget_splits_giant_warps(self):
+        """With a tiny offsets budget, the same stream needs more
+        wide accesses (per-slot cap forces warp splits)."""
+        idx = np.repeat(np.arange(4, dtype=np.uint32), 512)
+        small = AdapterConfig(
+            coalescer=CoalescerConfig(window=64, offsets_total_entries=64)
+        )
+        cfg_metrics = run_indirect_stream(idx, small)
+        big_metrics = run_indirect_stream(idx, mlp_config(64))
+        assert cfg_metrics.elem_txns >= big_metrics.elem_txns
+
+
+class TestRefreshInterplay:
+    def test_refresh_happens_and_stream_survives(self):
+        dram = DramConfig(t_refi=500, t_rfc=80)
+        idx = banded_stream(2000)
+        sim, adapter, mem, _ = build_indirect_system(idx, mlp_config(64), dram)
+        sim.run_until(lambda: adapter.done, max_cycles=2_000_000)
+        assert mem.stats["refreshes"] >= 1
+
+    def test_refresh_slows_the_stream(self):
+        idx = banded_stream(3000)
+        fast_dram = DramConfig(t_refi=0, t_rfc=0)
+        slow_dram = DramConfig(t_refi=400, t_rfc=200)  # brutal refresh
+        base = run_indirect_stream(idx, mlp_config(64), fast_dram)
+        slowed = run_indirect_stream(idx, mlp_config(64), slow_dram)
+        assert slowed.cycles > base.cycles
+
+
+class TestFailureInjection:
+    def test_vector_shorter_than_indices_rejected(self):
+        idx = np.array([10], dtype=np.uint32)
+        with pytest.raises(SimulationError):
+            build_indirect_system(idx, mlp_config(8), vec=np.zeros(5))
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(SimulationError):
+            build_indirect_system(np.empty(0, dtype=np.uint32), mlp_config(8))
+
+    def test_verification_catches_corruption(self):
+        """If DRAM data is corrupted mid-flight, verify=True must
+        fail loudly rather than return silently wrong results."""
+        idx = banded_stream(300)
+        sim, adapter, mem, expected = build_indirect_system(idx, mlp_config(16))
+        # Corrupt the element region after wiring but before running.
+        mem.store.data[:] = 0
+        sim.run_until(lambda: adapter.done, max_cycles=1_000_000)
+        got = np.asarray(adapter.output)
+        assert not np.array_equal(got, expected)
+
+    def test_deterministic_across_runs(self):
+        idx = banded_stream(800)
+        a = run_indirect_stream(idx, mlp_config(32))
+        b = run_indirect_stream(idx, mlp_config(32))
+        assert a.cycles == b.cycles
+        assert a.elem_txns == b.elem_txns

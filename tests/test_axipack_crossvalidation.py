@@ -1,0 +1,64 @@
+"""Cycle model vs fast model cross-validation.
+
+The fast model must reproduce the cycle model's coalescing decisions
+exactly (wide element access counts) on realistic streams, and its
+analytic cycle counts must stay within a modest band of the cycle
+model's (it is a max-of-bottlenecks lower-bound construction).
+"""
+
+import numpy as np
+import pytest
+
+from repro.axipack import fast_indirect_stream, run_indirect_stream
+from repro.config import mlp_config, nocoalescer_config, seq_config, variant_config
+
+from conftest import banded_stream, random_stream
+
+
+STREAMS = {
+    "banded": banded_stream(8000, jitter=20, span=4),
+    "dense": (np.arange(8000) // 2).astype(np.uint32),
+    "random": random_stream(3000, 20_000),
+}
+
+
+@pytest.mark.parametrize("stream_name", list(STREAMS))
+@pytest.mark.parametrize("label", ["MLPnc", "MLP8", "MLP64", "MLP256", "SEQ256"])
+def test_elem_txns_match(stream_name, label):
+    """Wide element access counts agree (tail watchdog effects allow a
+    couple of accesses of slack)."""
+    idx = STREAMS[stream_name]
+    cfg = variant_config(label)
+    cycle = run_indirect_stream(idx, cfg)
+    fast = fast_indirect_stream(idx, cfg)
+    assert abs(cycle.elem_txns - fast.elem_txns) <= max(2, 0.01 * fast.elem_txns)
+
+
+@pytest.mark.parametrize("label", ["MLPnc", "MLP8", "MLP64", "SEQ256"])
+def test_cycles_within_band(label):
+    idx = STREAMS["banded"]
+    cfg = variant_config(label)
+    cycle = run_indirect_stream(idx, cfg)
+    fast = fast_indirect_stream(idx, cfg)
+    ratio = cycle.cycles / fast.cycles
+    assert 0.7 <= ratio <= 1.6, f"{label}: cycle={cycle.cycles} fast={fast.cycles}"
+
+
+def test_mlp256_band_is_looser_but_bounded():
+    """At large windows secondary effects (index supply vs window fill)
+    grow; the models must still agree within 2x."""
+    idx = banded_stream(20_000, jitter=20, span=4)
+    cfg = mlp_config(256)
+    cycle = run_indirect_stream(idx, cfg)
+    fast = fast_indirect_stream(idx, cfg)
+    assert 0.5 <= cycle.cycles / fast.cycles <= 2.0
+
+
+def test_idx_txns_identical():
+    idx = STREAMS["banded"]
+    for label in ("MLPnc", "MLP64"):
+        cfg = variant_config(label)
+        assert (
+            run_indirect_stream(idx, cfg).idx_txns
+            == fast_indirect_stream(idx, cfg).idx_txns
+        )

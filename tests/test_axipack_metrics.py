@@ -1,0 +1,76 @@
+"""AdapterMetrics: the paper's derived quantities."""
+
+import pytest
+
+from repro.axipack.metrics import AdapterMetrics
+from repro.config import DramConfig
+
+
+def _metrics(**overrides):
+    defaults = dict(
+        variant="MLP64",
+        count=1000,
+        cycles=500,
+        idx_txns=63,
+        elem_txns=200,
+    )
+    defaults.update(overrides)
+    return AdapterMetrics(**defaults)
+
+
+def test_effective_bytes_is_count_times_element():
+    assert _metrics().effective_bytes == 8000
+
+
+def test_fetch_byte_accounting():
+    m = _metrics()
+    assert m.elem_fetch_bytes == 200 * 64
+    assert m.idx_fetch_bytes == 63 * 64
+    assert m.total_fetch_bytes == 263 * 64
+
+
+def test_indirect_bandwidth_definition():
+    # 8000 B in 500 ns = 16 GB/s.
+    assert _metrics().indirect_bw_gbps == pytest.approx(16.0)
+
+
+def test_coalesce_rate_definition():
+    """Effective element bytes per fetched element byte (Fig. 4)."""
+    m = _metrics()
+    assert m.coalesce_rate == pytest.approx(8000 / (200 * 64))
+
+
+def test_coalesce_rate_zero_when_nothing_fetched():
+    assert _metrics(elem_txns=0).coalesce_rate == 0.0
+
+
+def test_loss_plus_used_equals_peak():
+    # 263 txns x 64 B over 600 cycles uses ~28 GB/s of the 32 peak.
+    m = _metrics(cycles=600)
+    total = m.elem_bw_gbps + m.idx_bw_gbps + m.loss_gbps()
+    assert total == pytest.approx(DramConfig().peak_bandwidth_gbps)
+
+
+def test_loss_clamps_at_zero():
+    m = _metrics(elem_txns=2000, cycles=100)  # "uses" more than peak
+    assert m.loss_gbps() == 0.0
+
+
+def test_requests_per_cycle():
+    assert _metrics().requests_per_cycle == pytest.approx(2.0)
+
+
+def test_bandwidth_utilization_capped():
+    assert _metrics().bandwidth_utilization() <= 1.0
+
+
+def test_summary_round_trips_variant():
+    summary = _metrics().summary()
+    assert summary["variant"] == "MLP64"
+    assert summary["count"] == 1000
+    assert set(summary) >= {
+        "cycles",
+        "indirect_bw_gbps",
+        "coalesce_rate",
+        "requests_per_cycle",
+    }

@@ -1,0 +1,81 @@
+"""Indirect write (scatter) path: functional semantics and coalescing."""
+
+import numpy as np
+import pytest
+
+from repro.axipack.scatter import fast_indirect_scatter, run_indirect_scatter
+from repro.config import mlp_config, nocoalescer_config, seq_config
+from repro.errors import SimulationError
+
+from conftest import banded_stream
+
+
+class TestFunctional:
+    def test_unique_indices_scatter_exactly(self):
+        rng = np.random.default_rng(1)
+        idx = rng.permutation(600)[:400].astype(np.uint32)
+        vals = rng.normal(size=400)
+        metrics = run_indirect_scatter(idx, vals, mlp_config(64))
+        assert metrics.count == 400  # verify=True checked memory
+
+    def test_duplicate_indices_last_write_wins(self):
+        idx = np.array([3, 7, 3, 7, 3], dtype=np.uint32)
+        vals = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        run_indirect_scatter(idx, vals, mlp_config(8))  # verifies internally
+
+    def test_heavy_duplication_across_windows(self):
+        rng = np.random.default_rng(2)
+        idx = rng.integers(0, 50, 2000).astype(np.uint32)
+        run_indirect_scatter(idx, rng.normal(size=2000), mlp_config(64))
+
+    def test_sequential_variant(self):
+        rng = np.random.default_rng(3)
+        idx = rng.integers(0, 300, 800).astype(np.uint32)
+        run_indirect_scatter(idx, rng.normal(size=800), seq_config(64))
+
+    def test_requires_coalescer(self):
+        with pytest.raises(SimulationError):
+            run_indirect_scatter(
+                np.array([1], dtype=np.uint32), np.array([1.0]),
+                nocoalescer_config(),
+            )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            run_indirect_scatter(
+                np.array([1, 2], dtype=np.uint32), np.array([1.0]), mlp_config(8)
+            )
+
+
+class TestCoalescing:
+    def test_banded_scatter_coalesces(self):
+        idx = banded_stream(3000)
+        vals = np.arange(3000, dtype=np.float64)
+        metrics = run_indirect_scatter(idx, vals, mlp_config(256))
+        assert metrics.coalesce_rate > 1.0
+        assert metrics.elem_txns < 3000 / 4
+
+    def test_fast_model_matches_write_counts(self):
+        idx = banded_stream(2500)
+        vals = np.ones(2500)
+        cycle = run_indirect_scatter(idx, vals, mlp_config(64))
+        fast = fast_indirect_scatter(idx, mlp_config(64))
+        assert abs(cycle.elem_txns - fast.elem_txns) <= 2
+
+    def test_window_monotone(self):
+        idx = banded_stream(4000)
+        txns = [
+            fast_indirect_scatter(idx, mlp_config(w)).elem_txns
+            for w in (8, 32, 128)
+        ]
+        assert txns == sorted(txns, reverse=True)
+
+    def test_scatter_and_gather_coalesce_identically(self):
+        """Same index stream, same windows: the write coalescer must
+        merge exactly as the read coalescer does."""
+        from repro.axipack import fast_indirect_stream
+
+        idx = banded_stream(3000)
+        gather = fast_indirect_stream(idx, mlp_config(64))
+        scatter = fast_indirect_scatter(idx, mlp_config(64))
+        assert gather.elem_txns == scatter.elem_txns

@@ -1,0 +1,43 @@
+"""Matrix-to-index-stream mapping."""
+
+import numpy as np
+import pytest
+
+from repro.axipack.streams import FORMATS, matrix_index_stream
+from repro.errors import ExperimentError
+
+from conftest import small_csr
+
+
+def test_formats_are_paper_formats():
+    assert FORMATS == ("sell", "csr")
+
+
+def test_csr_stream_is_row_major_col_idx():
+    m = small_csr()
+    assert np.array_equal(matrix_index_stream(m, "csr"), m.col_idx)
+
+
+def test_sell_stream_matches_sell_storage_order():
+    m = small_csr(nrows=70)
+    sell = m.to_sell(32)
+    assert np.array_equal(matrix_index_stream(m, "sell"), sell.col_idx)
+
+
+def test_sell_stream_longer_due_to_padding():
+    m = small_csr(nrows=70)
+    assert len(matrix_index_stream(m, "sell")) >= len(matrix_index_stream(m, "csr"))
+
+
+def test_unknown_format_rejected():
+    with pytest.raises(ExperimentError):
+        matrix_index_stream(small_csr(), "ellpack")
+
+
+def test_streams_reference_same_columns():
+    """Both orders visit the same multiset of real column indices
+    (SELL adds padding repeats of in-row indices)."""
+    m = small_csr()
+    csr_set = set(matrix_index_stream(m, "csr").tolist())
+    sell_set = set(matrix_index_stream(m, "sell").tolist())
+    assert csr_set <= sell_set | {0}

@@ -1,0 +1,34 @@
+"""Command-line entry point."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_no_args_prints_usage(capsys):
+    assert main([]) == 2
+    assert "python -m repro" in capsys.readouterr().out
+
+
+def test_unknown_command(capsys):
+    assert main(["frobnicate"]) == 2
+
+
+def test_suite_listing(capsys):
+    assert main(["suite"]) == 0
+    out = capsys.readouterr().out
+    assert "af_shell10" in out
+    assert "thermal2" in out
+
+
+def test_fig6a_table(capsys):
+    assert main(["fig6a"]) == 0
+    out = capsys.readouterr().out
+    assert "AP256" in out
+    assert "coal_kge_w64 = 307.0" in out
+
+
+def test_stream_command(capsys):
+    assert main(["stream", "msc01440", "MLP64"]) == 0
+    out = capsys.readouterr().out
+    assert "indirect_bw_gbps" in out

@@ -1,0 +1,134 @@
+"""Configuration dataclasses (paper Table I defaults and validation)."""
+
+import pytest
+
+from repro.config import (
+    AdapterConfig,
+    BaselineConfig,
+    CoalescerConfig,
+    DramConfig,
+    VpcConfig,
+    mlp_config,
+    nocoalescer_config,
+    seq_config,
+    variant_config,
+    with_window,
+    PAPER_ADAPTER_VARIANTS,
+)
+from repro.errors import ConfigError
+from repro.units import KIB, MIB
+
+
+class TestTableIDefaults:
+    """The defaults must match the paper's Table I."""
+
+    def test_adapter_index_queue_depth(self):
+        assert AdapterConfig().index_queue_depth == 256
+
+    def test_sizer_queue_depth(self):
+        assert CoalescerConfig().sizer_queue_depth == 2
+
+    def test_hitmap_queue_depth(self):
+        assert CoalescerConfig().hitmap_queue_depth == 128
+
+    def test_offsets_queue_is_2048_over_w(self):
+        for window in (64, 128, 256):
+            cc = CoalescerConfig(window=window)
+            assert cc.offsets_queue_depth == 2048 // window
+
+    def test_vpc_has_16_lanes_1ghz_384k_l2(self):
+        vpc = VpcConfig()
+        assert vpc.lanes == 16
+        assert vpc.freq_hz == 1e9
+        assert vpc.l2_spm_bytes == 384 * KIB
+
+    def test_dram_is_32gbps_hbm2_channel(self):
+        dram = DramConfig()
+        assert dram.peak_bandwidth_gbps == pytest.approx(32.0)
+        assert dram.access_bytes == 64  # 512 b granularity
+
+    def test_baseline_llc_is_1mib(self):
+        assert BaselineConfig().llc_bytes == 1 * MIB
+
+
+class TestValidation:
+    def test_window_must_be_power_of_two(self):
+        with pytest.raises(ConfigError):
+            CoalescerConfig(window=100)
+
+    def test_window_must_cover_lanes(self):
+        with pytest.raises(ConfigError):
+            AdapterConfig(lanes=8, coalescer=CoalescerConfig(window=4))
+
+    def test_lanes_power_of_two(self):
+        with pytest.raises(ConfigError):
+            AdapterConfig(lanes=6)
+
+    def test_dram_burst_consistency(self):
+        with pytest.raises(ConfigError):
+            DramConfig(t_burst=3)
+
+    def test_llc_geometry(self):
+        with pytest.raises(ConfigError):
+            BaselineConfig(llc_bytes=1000)  # not divisible into sets
+
+
+class TestVariants:
+    def test_all_paper_variants_exist(self):
+        for label in ("MLPnc", "MLP8", "MLP16", "MLP32", "MLP64", "MLP128",
+                      "MLP256", "SEQ256"):
+            assert label in PAPER_ADAPTER_VARIANTS
+
+    def test_mlpnc_has_no_coalescer(self):
+        assert nocoalescer_config().coalescer is None
+        assert not nocoalescer_config().has_coalescer
+
+    def test_mlp_is_parallel(self):
+        cfg = mlp_config(64)
+        assert cfg.coalescer is not None and cfg.coalescer.parallel
+        assert cfg.coalescer.window == 64
+
+    def test_seq_is_sequential(self):
+        cfg = seq_config(256)
+        assert cfg.coalescer is not None and not cfg.coalescer.parallel
+
+    def test_variant_config_parses_arbitrary_windows(self):
+        assert variant_config("MLP512").coalescer.window == 512
+        assert not variant_config("SEQ32").coalescer.parallel
+
+    def test_variant_config_rejects_garbage(self):
+        with pytest.raises(ConfigError):
+            variant_config("FOO9")
+
+    def test_with_window(self):
+        cfg = with_window(mlp_config(64), 128)
+        assert cfg.coalescer.window == 128
+
+    def test_with_window_rejects_no_coalescer(self):
+        with pytest.raises(ConfigError):
+            with_window(nocoalescer_config(), 64)
+
+
+class TestDerivedQuantities:
+    def test_indices_per_block(self):
+        assert AdapterConfig().indices_per_block == 16  # 64 B / 4 B
+
+    def test_elements_per_beat(self):
+        assert AdapterConfig().elements_per_beat == 8  # 512 b / 64 b
+
+    def test_auto_timeouts_scale_with_window(self):
+        cc = CoalescerConfig(window=64)
+        assert cc.regulator_timeout == 128
+        assert cc.watchdog_timeout == 128
+
+    def test_explicit_timeouts_respected(self):
+        cc = CoalescerConfig(window=64, regulator_timeout=17, watchdog_timeout=19)
+        assert cc.regulator_timeout == 17
+        assert cc.watchdog_timeout == 19
+
+    def test_l2_array_bytes_six_way_split(self):
+        vpc = VpcConfig()
+        assert vpc.l2_array_bytes == 384 * KIB // 6
+
+    def test_blocks_per_row(self):
+        assert DramConfig().blocks_per_row == 16  # 1 KiB row / 64 B

@@ -1,0 +1,146 @@
+"""Area, storage, and state-of-the-art comparison models (Fig. 6)."""
+
+import pytest
+
+from repro.config import AdapterConfig, CoalescerConfig, VpcConfig
+from repro.hw.area import (
+    AreaModel,
+    PUBLISHED_IMPLEMENTATIONS,
+    adapter_area_breakdown,
+)
+from repro.hw.soa import SOA_PROCESSORS, efficiency_comparison, our_processor_datum
+from repro.hw.storage import (
+    adapter_storage_breakdown,
+    adapter_storage_bytes,
+    system_onchip_storage,
+)
+
+
+class TestAreaModel:
+    def test_published_coalescer_points_exact(self):
+        """Sec. IV-C: 307 / 617 / 1035 kGE for W = 64 / 128 / 256."""
+        for window, kge in ((64, 307.0), (128, 617.0), (256, 1035.0)):
+            model = AreaModel(AdapterConfig(coalescer=CoalescerConfig(window=window)))
+            assert model.coalescer_kge() == pytest.approx(kge, rel=0.02)
+
+    def test_published_mm2_points_exact(self):
+        for window, (mm2, util) in PUBLISHED_IMPLEMENTATIONS.items():
+            model = AreaModel(AdapterConfig(coalescer=CoalescerConfig(window=window)))
+            assert model.area_mm2() == pytest.approx(mm2)
+            assert model.utilization_percent() == pytest.approx(util)
+
+    def test_area_in_paper_range(self):
+        """Abstract: 0.2-0.3 mm^2 class implementation."""
+        for window in (64, 128, 256):
+            model = AreaModel(AdapterConfig(coalescer=CoalescerConfig(window=window)))
+            assert 0.15 <= model.area_mm2() <= 0.35
+
+    def test_coalescer_area_grows_with_window(self):
+        kges = [
+            AreaModel(
+                AdapterConfig(coalescer=CoalescerConfig(window=w))
+            ).coalescer_kge()
+            for w in (16, 32, 64, 128, 256, 512)
+        ]
+        assert kges == sorted(kges)
+        # Extrapolation above W=256 keeps the last published slope.
+        slope = (kges[-1] - kges[-2]) / 256
+        assert slope == pytest.approx((1035 - 617) / 128, rel=0.02)
+
+    def test_index_queues_dominate(self):
+        """Sec. IV-C: the index queues take the largest share (754 kGE)."""
+        breakdown = adapter_area_breakdown(64)
+        assert breakdown["idx_que"] == pytest.approx(754.0)
+        assert breakdown["idx_que"] > breakdown["coal"]
+        assert breakdown["idx_que"] > breakdown["others"] + breakdown["ele_gen"]
+
+    def test_no_coalescer_area(self):
+        breakdown = adapter_area_breakdown(0)
+        assert breakdown["coal"] == 0.0
+        assert breakdown["total"] < adapter_area_breakdown(64)["total"]
+
+    def test_breakdown_sums_to_total(self):
+        breakdown = adapter_area_breakdown(128)
+        parts = (
+            breakdown["others"] + breakdown["ele_gen"]
+            + breakdown["idx_que"] + breakdown["coal"]
+        )
+        assert parts == pytest.approx(breakdown["total"])
+
+
+class TestStorageModel:
+    def test_paper_27kb_configuration(self):
+        """Table I: on-chip storage = 27 KB at W = 256 (within 15 %)."""
+        total = adapter_storage_bytes(AdapterConfig())
+        assert total == pytest.approx(27 * 1024, rel=0.15)
+
+    def test_index_queues_are_8kib(self):
+        breakdown = adapter_storage_breakdown(AdapterConfig())
+        assert breakdown["index_queues"] == 8 * 256 * 4
+
+    def test_hitmap_queue_is_4kib_at_w256(self):
+        breakdown = adapter_storage_breakdown(AdapterConfig())
+        assert breakdown["hitmap_queue"] == 128 * 256 / 8
+
+    def test_no_coalescer_storage_smaller(self):
+        from repro.config import nocoalescer_config
+
+        with_coal = adapter_storage_bytes(AdapterConfig())
+        without = adapter_storage_bytes(nocoalescer_config())
+        assert without < 0.6 * with_coal
+
+    def test_storage_scales_with_window(self):
+        small = adapter_storage_bytes(
+            AdapterConfig(coalescer=CoalescerConfig(window=64))
+        )
+        large = adapter_storage_bytes(
+            AdapterConfig(coalescer=CoalescerConfig(window=256))
+        )
+        assert large > small
+
+    def test_system_storage_breakdown(self):
+        breakdown = system_onchip_storage()
+        assert breakdown["l2_spm"] == 384 * 1024
+        assert breakdown["ara_vrf"] == 64 * 1024  # 32 regs x 16Kib VLEN
+        assert breakdown["total"] == pytest.approx(
+            sum(v for k, v in breakdown.items() if k != "total")
+        )
+        # Fig. 6b: our system's on-chip cost per GB/s ~ 17 kB/(GB/s).
+        assert 14 <= breakdown["total"] / 1024 / 32 <= 20
+
+
+class TestSoaComparison:
+    def test_cited_machines_present(self):
+        assert set(SOA_PROCESSORS) == {"SX-Aurora", "A64FX"}
+        for datum in SOA_PROCESSORS.values():
+            assert datum.source
+
+    def test_onchip_efficiency_ratios_match_paper(self):
+        """Sec. IV-C: 1.4x and 2.6x better on-chip efficiency than
+        SX-Aurora and A64FX respectively."""
+        ours = our_processor_datum(measured_avg_gflops=3.0)
+        sx = SOA_PROCESSORS["SX-Aurora"].onchip_cost_kb_per_gbps
+        a64 = SOA_PROCESSORS["A64FX"].onchip_cost_kb_per_gbps
+        assert sx / ours.onchip_cost_kb_per_gbps == pytest.approx(1.4, abs=0.25)
+        assert a64 / ours.onchip_cost_kb_per_gbps == pytest.approx(2.6, abs=0.4)
+
+    def test_perf_efficiency_close_to_soa(self):
+        """Sec. IV-C: 1x of SX-Aurora and 0.9x of A64FX."""
+        ours = our_processor_datum(measured_avg_gflops=3.0)
+        ratio_sx = (
+            ours.perf_efficiency_gflops_per_gbps
+            / SOA_PROCESSORS["SX-Aurora"].perf_efficiency_gflops_per_gbps
+        )
+        ratio_a64 = (
+            ours.perf_efficiency_gflops_per_gbps
+            / SOA_PROCESSORS["A64FX"].perf_efficiency_gflops_per_gbps
+        )
+        assert ratio_sx == pytest.approx(1.0, abs=0.2)
+        assert ratio_a64 == pytest.approx(0.9, abs=0.2)
+
+    def test_comparison_rows(self):
+        rows = efficiency_comparison(measured_avg_gflops=3.0)
+        names = [row["name"] for row in rows]
+        assert names == ["SX-Aurora", "A64FX", "This Work"]
+        ours = rows[-1]
+        assert ours["onchip_efficiency_vs_ours"] == pytest.approx(1.0)

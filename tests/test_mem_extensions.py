@@ -1,0 +1,167 @@
+"""Memory extensions: masked writes, hazard ordering, multi-channel,
+refresh stats."""
+
+import numpy as np
+import pytest
+
+from repro.config import DramConfig
+from repro.errors import MemoryModelError
+from repro.mem.backing_store import BackingStore
+from repro.mem.dram import DramChannel
+from repro.mem.multichannel import MultiChannelMemory
+from repro.mem.request import MemRequest
+from repro.sim.clock import Simulator
+
+
+class TestMaskedWrites:
+    def test_partial_write_preserves_unmasked_bytes(self):
+        store = BackingStore(256)
+        store.write_block(0, np.arange(64, dtype=np.uint8))
+        data = np.full(64, 0xFF, dtype=np.uint8)
+        mask = np.zeros(64, dtype=bool)
+        mask[8:16] = True
+        store.write_block(0, data, mask)
+        got = store.read_block(0, 64)
+        assert (got[8:16] == 0xFF).all()
+        assert (got[:8] == np.arange(8)).all()
+        assert (got[16:] == np.arange(16, 64)).all()
+
+    def test_mask_length_checked(self):
+        store = BackingStore(256)
+        with pytest.raises(MemoryModelError):
+            store.write_block(0, np.zeros(64, dtype=np.uint8),
+                              np.ones(8, dtype=bool))
+
+    def test_request_mask_validation(self):
+        with pytest.raises(ValueError):
+            MemRequest(addr=0, nbytes=64, write_mask=np.ones(64, dtype=bool))
+
+    def test_dram_applies_strobes(self):
+        store = BackingStore(1 << 12)
+        store.write_block(0, np.arange(64, dtype=np.uint8))
+        dram = DramChannel(store)
+        sim = Simulator([dram])
+        data = np.full(64, 0xAB, dtype=np.uint8)
+        mask = np.zeros(64, dtype=bool)
+        mask[0:8] = True
+        dram.req.push(
+            MemRequest(addr=0, nbytes=64, is_write=True, write_data=data,
+                       write_mask=mask)
+        )
+        sim.run_until(lambda: not dram.busy, max_cycles=10_000)
+        got = store.read_block(0, 64)
+        assert (got[:8] == 0xAB).all()
+        assert (got[8:] == np.arange(8, 64)).all()
+
+
+class TestHazardOrdering:
+    def test_same_block_requests_commit_in_order(self):
+        """Two writes to one block must commit oldest-first even though
+        FR-FCFS would otherwise be free to reorder."""
+        store = BackingStore(1 << 12)
+        dram = DramChannel(store)
+        sim = Simulator([dram])
+        first = np.full(64, 1, dtype=np.uint8)
+        second = np.full(64, 2, dtype=np.uint8)
+        dram.req.push(MemRequest(addr=0, nbytes=64, is_write=True,
+                                 write_data=first))
+        dram.req.push(MemRequest(addr=0, nbytes=64, is_write=True,
+                                 write_data=second))
+        sim.run_until(lambda: not dram.busy, max_cycles=10_000)
+        assert (store.read_block(0, 64) == 2).all()
+
+    def test_read_after_write_sees_the_write(self):
+        store = BackingStore(1 << 12)
+        dram = DramChannel(store)
+        sim = Simulator([dram])
+        payload = np.full(64, 7, dtype=np.uint8)
+        dram.req.push(MemRequest(addr=128, nbytes=64, is_write=True,
+                                 write_data=payload))
+        dram.req.push(MemRequest(addr=128, nbytes=64))
+        sim.run_until(lambda: len(dram.rsp) == 2, max_cycles=10_000)
+        responses = [dram.rsp.pop(), dram.rsp.pop()]
+        read = next(r for r in responses if r.data is not None)
+        assert (read.data == 7).all()
+
+    def test_different_blocks_still_reorder(self):
+        """Hazard ordering must not serialise independent blocks: a row
+        hit younger than a conflicting request still goes first."""
+        store = BackingStore(1 << 20)
+        dram = DramChannel(store)
+        sim = Simulator([dram])
+        conflict_addr = dram.config.num_banks * dram.config.blocks_per_row * 64
+        dram.req.push(MemRequest(addr=0, nbytes=64))
+        sim.step(40)
+        dram.req.push(MemRequest(addr=conflict_addr, nbytes=64))  # older, row miss
+        dram.req.push(MemRequest(addr=64 * dram.config.num_banks, nbytes=64))
+        sim.run_until(lambda: len(dram.rsp) == 3, max_cycles=100_000)
+        finishes = {}
+        while dram.rsp.can_pop():
+            r = dram.rsp.pop()
+            finishes[r.request.addr] = r.finish_cycle
+        assert finishes[64 * dram.config.num_banks] < finishes[conflict_addr]
+
+
+class TestMultiChannel:
+    def _run_stream(self, memory, sim, count):
+        issued = 0
+        while issued < count:
+            if memory.req.can_push():
+                memory.req.push(MemRequest(addr=issued * 64, nbytes=64))
+                issued += 1
+            sim.step()
+        sim.run_until(lambda: not memory.busy, max_cycles=200_000)
+        return sim.cycle
+
+    def test_two_channels_nearly_double_throughput(self):
+        store = BackingStore(1 << 20)
+        single = DramChannel(store)
+        sim1 = Simulator([single])
+        t_single = self._run_stream(single, sim1, 512)
+
+        store2 = BackingStore(1 << 20)
+        multi = MultiChannelMemory(store2, num_channels=2)
+        sim2 = Simulator(multi.components())
+        t_multi = self._run_stream(multi, sim2, 512)
+        assert t_multi < 0.7 * t_single
+
+    def test_block_interleaving(self):
+        store = BackingStore(1 << 16)
+        multi = MultiChannelMemory(store, num_channels=4)
+        assert [multi.channel_of(i * 64) for i in range(8)] == [
+            0, 1, 2, 3, 0, 1, 2, 3
+        ]
+
+    def test_all_responses_return(self):
+        store = BackingStore(1 << 16)
+        multi = MultiChannelMemory(store, num_channels=2)
+        sim = Simulator(multi.components())
+        for i in range(16):
+            multi.req.push(MemRequest(addr=i * 64, nbytes=64))
+        sim.run_until(lambda: len(multi.rsp) == 16, max_cycles=50_000)
+        assert len(multi.rsp) == 16
+
+    def test_peak_bandwidth_scales(self):
+        store = BackingStore(1 << 16)
+        multi = MultiChannelMemory(store, num_channels=4)
+        assert multi.peak_bandwidth_gbps == pytest.approx(128.0)
+
+    def test_channel_count_validated(self):
+        with pytest.raises(ValueError):
+            MultiChannelMemory(BackingStore(1024), num_channels=0)
+
+
+class TestRefresh:
+    def test_refresh_counter_advances(self):
+        store = BackingStore(1 << 16)
+        dram = DramChannel(store, DramConfig(t_refi=100, t_rfc=20))
+        sim = Simulator([dram])
+        sim.step(450)
+        assert dram.stats["refreshes"] >= 4
+
+    def test_refresh_disabled(self):
+        store = BackingStore(1 << 16)
+        dram = DramChannel(store, DramConfig(t_refi=0, t_rfc=0))
+        sim = Simulator([dram])
+        sim.step(500)
+        assert dram.stats["refreshes"] == 0

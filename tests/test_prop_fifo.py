@@ -1,0 +1,62 @@
+"""Property-based tests: FIFO order and occupancy invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.fifo import Fifo
+
+
+@st.composite
+def fifo_scripts(draw):
+    """A capacity plus a sequence of push/pop/commit operations."""
+    capacity = draw(st.integers(min_value=1, max_value=8))
+    ops = draw(
+        st.lists(
+            st.sampled_from(["push", "pop", "commit"]), min_size=1, max_size=200
+        )
+    )
+    return capacity, ops
+
+
+@given(fifo_scripts())
+@settings(max_examples=200, deadline=None)
+def test_fifo_preserves_order_and_bounds(script):
+    capacity, ops = script
+    fifo = Fifo(capacity, "prop")
+    pushed = []
+    popped = []
+    next_value = 0
+    for op in ops:
+        if op == "push" and fifo.can_push():
+            fifo.push(next_value)
+            pushed.append(next_value)
+            next_value += 1
+        elif op == "pop" and fifo.can_pop():
+            popped.append(fifo.pop())
+        elif op == "commit":
+            fifo.commit()
+        # Invariant: occupancy never exceeds capacity.
+        assert fifo.occupancy <= capacity
+    fifo.commit()
+    while fifo.can_pop():
+        popped.append(fifo.pop())
+    # FIFO order: what came out is a prefix-order copy of what went in.
+    assert popped == pushed
+
+
+@given(
+    st.lists(st.integers(), min_size=0, max_size=50),
+    st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=100, deadline=None)
+def test_push_many_equivalent_to_pushes(items, capacity):
+    if len(items) > capacity:
+        items = items[:capacity]
+    a = Fifo(capacity, "a")
+    b = Fifo(capacity, "b")
+    a.push_many(items)
+    for item in items:
+        b.push(item)
+    a.commit()
+    b.commit()
+    assert list(a) == list(b)

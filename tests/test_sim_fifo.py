@@ -1,0 +1,117 @@
+"""Two-phase FIFO semantics."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.sim.fifo import Fifo, drain
+
+
+def test_push_not_visible_until_commit():
+    fifo = Fifo(4, "t")
+    fifo.push(1)
+    assert not fifo.can_pop()
+    fifo.commit()
+    assert fifo.can_pop()
+    assert fifo.pop() == 1
+
+
+def test_fifo_order_preserved():
+    fifo = Fifo(8, "t")
+    fifo.push_many([1, 2, 3])
+    fifo.commit()
+    assert drain(fifo) == [1, 2, 3]
+
+
+def test_capacity_includes_staged():
+    fifo = Fifo(2, "t")
+    fifo.push(1)
+    fifo.push(2)
+    assert not fifo.can_push()
+    with pytest.raises(ProtocolError):
+        fifo.push(3)
+
+
+def test_pop_frees_space_within_cycle():
+    """Fall-through full side: a pop's slot is reusable immediately,
+    but the new entry still only becomes visible after commit."""
+    fifo = Fifo(1, "t")
+    fifo.push("a")
+    fifo.commit()
+    assert fifo.pop() == "a"
+    assert fifo.can_push()
+    fifo.push("b")
+    assert not fifo.can_pop()
+    fifo.commit()
+    assert fifo.pop() == "b"
+
+
+def test_peek_does_not_consume():
+    fifo = Fifo(2, "t")
+    fifo.push(7)
+    fifo.commit()
+    assert fifo.peek() == 7
+    assert fifo.pop() == 7
+
+
+def test_peek_empty_raises():
+    with pytest.raises(ProtocolError):
+        Fifo(2, "t").peek()
+
+
+def test_pop_empty_raises():
+    with pytest.raises(ProtocolError):
+        Fifo(2, "t").pop()
+
+
+def test_push_many_overflow_rejected_atomically():
+    fifo = Fifo(2, "t")
+    with pytest.raises(ProtocolError):
+        fifo.push_many([1, 2, 3])
+    assert fifo.occupancy == 0
+
+
+def test_unbounded_fifo():
+    fifo = Fifo(None, "t")
+    for i in range(10_000):
+        fifo.push(i)
+    assert fifo.can_push(1_000_000)
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        Fifo(0, "t")
+
+
+def test_occupancy_and_len():
+    fifo = Fifo(4, "t")
+    fifo.push(1)
+    assert len(fifo) == 0  # committed only
+    assert fifo.occupancy == 1  # committed + staged
+    fifo.commit()
+    assert len(fifo) == 1
+
+
+def test_counters_and_max_occupancy():
+    fifo = Fifo(4, "t")
+    fifo.push_many([1, 2, 3])
+    fifo.commit()
+    fifo.pop()
+    assert fifo.total_pushed == 3
+    assert fifo.total_popped == 1
+    assert fifo.max_occupancy == 3
+
+
+def test_is_empty_accounts_staged():
+    fifo = Fifo(4, "t")
+    assert fifo.is_empty
+    fifo.push(1)
+    assert not fifo.is_empty
+
+
+def test_global_ops_counter_advances():
+    before = Fifo.global_ops
+    fifo = Fifo(4, "t")
+    fifo.push(1)
+    fifo.commit()
+    fifo.pop()
+    assert Fifo.global_ops == before + 2

@@ -1,0 +1,149 @@
+"""COO/CSR/SELL format semantics and conversions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SparseFormatError
+from repro.sparse.coo import CooMatrix
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.sell import SellMatrix
+
+from conftest import small_csr
+
+
+class TestCoo:
+    def test_to_csr_sorts_and_sums_duplicates(self):
+        coo = CooMatrix(2, 3, rows=[1, 0, 1], cols=[2, 1, 2], vals=[1.0, 2.0, 3.0])
+        csr = coo.to_csr()
+        assert csr.nnz == 2
+        assert csr.to_dense()[1, 2] == pytest.approx(4.0)
+        assert csr.to_dense()[0, 1] == pytest.approx(2.0)
+
+    def test_empty_matrix(self):
+        csr = CooMatrix(3, 3).to_csr()
+        assert csr.nnz == 0
+        assert csr.spmv(np.ones(3)).tolist() == [0.0, 0.0, 0.0]
+
+    def test_bounds_validated(self):
+        with pytest.raises(SparseFormatError):
+            CooMatrix(2, 2, rows=[2], cols=[0], vals=[1.0])
+        with pytest.raises(SparseFormatError):
+            CooMatrix(2, 2, rows=[0], cols=[-1], vals=[1.0])
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(SparseFormatError):
+            CooMatrix(2, 2, rows=[0], cols=[0, 1], vals=[1.0])
+
+    def test_dense_roundtrip(self):
+        coo = CooMatrix(2, 2, rows=[0, 1], cols=[1, 0], vals=[5.0, -3.0])
+        dense = coo.to_dense()
+        assert dense[0, 1] == 5.0 and dense[1, 0] == -3.0
+
+
+class TestCsr:
+    def test_dtypes_match_paper(self):
+        """32 b indices, 64 b values (paper Sec. III)."""
+        m = small_csr()
+        assert m.col_idx.dtype == np.uint32
+        assert m.val.dtype == np.float64
+        assert m.row_ptr.dtype == np.int64
+
+    def test_row_ptr_validation(self):
+        with pytest.raises(SparseFormatError):
+            CsrMatrix(2, 2, np.array([0, 1]), np.array([0]), np.array([1.0]))
+        with pytest.raises(SparseFormatError):
+            CsrMatrix(2, 2, np.array([0, 2, 1]), np.array([0]), np.array([1.0]))
+
+    def test_col_bounds_validation(self):
+        with pytest.raises(SparseFormatError):
+            CsrMatrix(1, 2, np.array([0, 1]), np.array([5]), np.array([1.0]))
+
+    def test_spmv_matches_dense(self):
+        m = small_csr()
+        x = np.random.default_rng(0).normal(size=m.ncols)
+        assert np.allclose(m.spmv(x), m.to_dense() @ x)
+
+    def test_spmv_shape_check(self):
+        m = small_csr()
+        with pytest.raises(SparseFormatError):
+            m.spmv(np.ones(m.ncols + 1))
+
+    def test_row_lengths_and_stats(self):
+        m = small_csr()
+        assert m.row_lengths().sum() == m.nnz
+        assert m.avg_row_length == pytest.approx(m.nnz / m.nrows)
+        assert 0 < m.density < 1
+
+    def test_index_stream_is_col_idx(self):
+        m = small_csr()
+        assert np.array_equal(m.index_stream(), m.col_idx)
+
+    def test_footprint_uses_paper_widths(self):
+        m = small_csr()
+        footprint = m.footprint_bytes()
+        assert footprint["col_idx"] == 4 * m.nnz
+        assert footprint["val"] == 8 * m.nnz
+
+
+class TestSell:
+    def test_roundtrip_to_csr(self):
+        m = small_csr(nrows=70)  # not a multiple of the chunk
+        back = m.to_sell(32).to_csr()
+        assert np.allclose(m.to_dense(), back.to_dense())
+
+    def test_spmv_matches_csr(self):
+        m = small_csr(nrows=100, ncols=90)
+        sell = m.to_sell(32)
+        x = np.random.default_rng(1).normal(size=m.ncols)
+        assert np.allclose(sell.spmv(x), m.spmv(x))
+
+    def test_slice_count_and_padding(self):
+        m = small_csr(nrows=70)
+        sell = m.to_sell(32)
+        assert sell.nslices == 3
+        assert sell.padded_nnz >= m.nnz
+        assert sell.padding_overhead >= 1.0
+        assert sell.true_nnz == m.nnz
+
+    def test_storage_is_column_of_slice_major(self):
+        """Within a slice, consecutive stored entries belong to
+        consecutive rows at the same slice-column."""
+        row_ptr = np.array([0, 2, 3])
+        col_idx = np.array([0, 2, 1], dtype=np.uint32)
+        val = np.array([10.0, 20.0, 30.0])
+        csr = CsrMatrix(2, 3, row_ptr, col_idx, val)
+        sell = csr.to_sell(2)
+        # slice width 2, chunk 2: layout [r0c0, r1c0, r0c1, r1c1]
+        assert sell.val.tolist() == [10.0, 30.0, 20.0, 0.0]
+        assert sell.col_idx.tolist() == [0, 1, 2, 1]  # pad repeats last idx
+
+    def test_padding_repeats_last_index(self):
+        """Padded entries reuse the row's last column index with a zero
+        value (keeps indirect accesses local and SpMV exact)."""
+        row_ptr = np.array([0, 3, 4])
+        col_idx = np.array([0, 1, 2, 7], dtype=np.uint32)
+        val = np.array([1.0, 2.0, 3.0, 4.0])
+        sell = CsrMatrix(2, 8, row_ptr, col_idx, val).to_sell(2)
+        # Row 1 has width 3 padding 2: indices must repeat 7.
+        stream = sell.index_stream()
+        assert np.count_nonzero(stream == 7) == 3
+        x = np.arange(8, dtype=np.float64)
+        assert np.allclose(sell.spmv(x), CsrMatrix(2, 8, row_ptr, col_idx, val).spmv(x))
+
+    def test_empty_rows_pad_with_zero_index(self):
+        row_ptr = np.array([0, 0, 1])
+        col_idx = np.array([3], dtype=np.uint32)
+        val = np.array([2.0])
+        sell = CsrMatrix(2, 4, row_ptr, col_idx, val).to_sell(2)
+        assert 0 in sell.index_stream().tolist()
+        x = np.ones(4)
+        assert sell.spmv(x).tolist() == [0.0, 2.0]
+
+    def test_chunk_32_default_paper_config(self):
+        m = small_csr(nrows=64)
+        sell = m.to_sell()
+        assert sell.chunk == 32
+
+    def test_index_stream_dtype(self):
+        m = small_csr()
+        assert m.to_sell(32).index_stream().dtype == np.uint32

@@ -1,0 +1,108 @@
+"""Synthetic structure generators: shapes, determinism, locality."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SparseFormatError
+from repro.sparse import generators
+
+
+def _window_block_ratio(matrix, window=256, block_elems=8):
+    """Mean distinct 64 B blocks per window of the CSR index stream —
+    the statistic the coalescer responds to (lower = more coalescing)."""
+    stream = matrix.index_stream().astype(np.int64) // block_elems
+    if len(stream) < window:
+        return 1.0
+    chunks = len(stream) // window
+    distinct = [
+        len(np.unique(stream[i * window : (i + 1) * window])) for i in range(chunks)
+    ]
+    return float(np.mean(distinct)) / window
+
+
+class TestDeterminismAndShape:
+    @pytest.mark.parametrize(
+        "builder,kwargs",
+        [
+            (generators.banded_fem, dict(avg_row=20, band=300)),
+            (generators.circuit, dict(avg_row=4)),
+            (generators.mesh, dict(avg_row=6, spread=100)),
+            (generators.kkt, dict(avg_row=10, band=80)),
+            (generators.dense_block, dict(avg_row=40)),
+            (generators.random_uniform, dict(avg_row=8)),
+        ],
+    )
+    def test_square_deterministic(self, builder, kwargs):
+        a = builder(2000, seed=5, **kwargs)
+        b = builder(2000, seed=5, **kwargs)
+        assert a.shape == (2000, 2000)
+        assert np.array_equal(a.col_idx, b.col_idx)
+        assert np.array_equal(a.val, b.val)
+
+    def test_different_seeds_differ(self):
+        a = generators.banded_fem(1000, seed=1)
+        b = generators.banded_fem(1000, seed=2)
+        assert not np.array_equal(a.col_idx, b.col_idx)
+
+    def test_avg_row_roughly_matches(self):
+        m = generators.banded_fem(4000, avg_row=35.0, band=600)
+        assert 20 <= m.avg_row_length <= 45
+
+    def test_diagonal_present(self):
+        m = generators.circuit(500, avg_row=4)
+        dense = m.to_dense()
+        assert np.count_nonzero(np.diag(dense)) == 500
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(SparseFormatError):
+            generators.banded_fem(0)
+
+
+class TestStencil:
+    def test_27_point_interior_degree(self):
+        m = generators.stencil(6, 6, 6, points=27)
+        assert m.shape == (216, 216)
+        lengths = m.row_lengths()
+        # interior points have exactly 27 neighbours
+        assert lengths.max() == 27
+        # corner points have 8
+        assert lengths.min() == 8
+
+    def test_9_point_2d(self):
+        m = generators.stencil(8, 8, 1, points=9)
+        assert m.row_lengths().max() == 9
+        assert m.row_lengths().min() == 4
+
+    def test_5_point_2d(self):
+        m = generators.stencil(8, 8, 1, points=5)
+        assert m.row_lengths().max() == 5
+
+    def test_symmetric_pattern(self):
+        m = generators.stencil(5, 5, 5, points=27)
+        dense = (m.to_dense() != 0).astype(int)
+        assert np.array_equal(dense, dense.T)
+
+    def test_invalid_points_rejected(self):
+        with pytest.raises(SparseFormatError):
+            generators.stencil(4, 4, 4, points=7)
+
+
+class TestLocalityOrdering:
+    """The structure classes must order by index locality the way the
+    paper's matrix classes do: dense bands coalesce best, circuits
+    worst."""
+
+    def test_dense_block_beats_banded(self):
+        dense = generators.dense_block(3000, avg_row=100, seed=0)
+        banded = generators.banded_fem(3000, avg_row=35, band=1500, seed=0)
+        assert _window_block_ratio(dense) < _window_block_ratio(banded)
+
+    def test_banded_beats_random(self):
+        banded = generators.banded_fem(3000, avg_row=35, band=1500, seed=0)
+        rand = generators.random_uniform(3000, avg_row=35, seed=0)
+        assert _window_block_ratio(banded) < _window_block_ratio(rand)
+
+    def test_circuit_has_poor_locality(self):
+        circ = generators.circuit(20000, avg_row=4, seed=0)
+        dense = generators.dense_block(3000, avg_row=100, seed=0)
+        assert _window_block_ratio(circ) > 1.5 * _window_block_ratio(dense)

@@ -1,0 +1,63 @@
+"""DRAM layout of SpMV working sets."""
+
+import numpy as np
+
+from repro.mem.backing_store import BackingStore
+from repro.sparse.layout import layout_csr, layout_sell
+
+from conftest import small_csr
+
+
+def test_csr_layout_addresses_and_sizes():
+    m = small_csr()
+    store = BackingStore(1 << 20)
+    layout = layout_csr(store, m)
+    assert layout.fmt == "csr"
+    assert layout.idx_bytes == 4 * m.nnz
+    assert layout.val_bytes == 8 * m.nnz
+    assert layout.vec_bytes == 8 * m.ncols
+    assert layout.result_bytes == 8 * m.nrows
+    assert layout.num_entries == m.nnz
+    # all 64-byte aligned
+    for base in (layout.ptr_base, layout.idx_base, layout.val_base,
+                 layout.vec_base, layout.result_base):
+        assert base % 64 == 0
+
+
+def test_csr_layout_data_readable_back():
+    m = small_csr()
+    store = BackingStore(1 << 20)
+    layout = layout_csr(store, m)
+    idx = store.read_typed(layout.idx_base, m.nnz, np.uint32)
+    val = store.read_typed(layout.val_base, m.nnz, np.float64)
+    assert np.array_equal(idx, m.col_idx)
+    assert np.array_equal(val, m.val)
+
+
+def test_sell_layout_uses_padded_entries():
+    m = small_csr(nrows=70)
+    sell = m.to_sell(32)
+    store = BackingStore(1 << 20)
+    layout = layout_sell(store, sell)
+    assert layout.fmt == "sell"
+    assert layout.num_entries == sell.padded_nnz
+    assert layout.idx_bytes == 4 * sell.padded_nnz
+
+
+def test_ideal_traffic_accounting():
+    m = small_csr()
+    store = BackingStore(1 << 20)
+    layout = layout_csr(store, m)
+    expected = (
+        layout.ptr_bytes + layout.idx_bytes + layout.val_bytes
+        + layout.vec_bytes + layout.result_bytes
+    )
+    assert layout.ideal_traffic_bytes == expected
+
+
+def test_custom_vector_respected():
+    m = small_csr()
+    store = BackingStore(1 << 20)
+    vec = np.linspace(0, 1, m.ncols)
+    layout = layout_csr(store, m, vec)
+    assert np.allclose(store.read_typed(layout.vec_base, m.ncols, np.float64), vec)

@@ -1,0 +1,103 @@
+"""MatrixMarket IO."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.errors import SparseFormatError
+from repro.sparse.mmio import read_matrix_market, write_matrix_market
+
+from conftest import small_csr
+
+
+def test_write_read_roundtrip(tmp_path):
+    m = small_csr()
+    path = tmp_path / "m.mtx"
+    write_matrix_market(m, path)
+    back = read_matrix_market(path)
+    assert back.shape == m.shape
+    assert back.nnz == m.nnz
+    assert np.allclose(back.to_dense(), m.to_dense())
+
+
+def test_read_symmetric_expands(tmp_path):
+    path = tmp_path / "sym.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 3\n"
+        "1 1 2.0\n"
+        "2 1 5.0\n"
+        "3 2 -1.0\n"
+    )
+    m = read_matrix_market(path)
+    dense = m.to_dense()
+    assert dense[0, 1] == dense[1, 0] == 5.0
+    assert dense[1, 2] == dense[2, 1] == -1.0
+    assert dense[0, 0] == 2.0
+    assert m.nnz == 5
+
+
+def test_read_pattern_field(tmp_path):
+    path = tmp_path / "pat.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "2 2 2\n"
+        "1 2\n"
+        "2 1\n"
+    )
+    m = read_matrix_market(path)
+    assert m.to_dense()[0, 1] == 1.0
+
+
+def test_read_gzipped(tmp_path):
+    path = tmp_path / "m.mtx.gz"
+    content = (
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% a comment\n"
+        "2 2 1\n"
+        "2 2 4.5\n"
+    )
+    with gzip.open(path, "wt") as handle:
+        handle.write(content)
+    m = read_matrix_market(path)
+    assert m.to_dense()[1, 1] == 4.5
+
+
+def test_comments_and_blank_lines_skipped(tmp_path):
+    path = tmp_path / "c.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% comment\n"
+        "\n"
+        "1 1 1\n"
+        "1 1 3.0\n"
+    )
+    assert read_matrix_market(path).to_dense()[0, 0] == 3.0
+
+
+@pytest.mark.parametrize(
+    "header",
+    [
+        "%%MatrixMarket matrix array real general",
+        "%%MatrixMarket matrix coordinate complex general",
+        "%%MatrixMarket matrix coordinate real hermitian",
+        "not a header at all",
+    ],
+)
+def test_unsupported_headers_rejected(tmp_path, header):
+    path = tmp_path / "bad.mtx"
+    path.write_text(header + "\n1 1 1\n1 1 1.0\n")
+    with pytest.raises(SparseFormatError):
+        read_matrix_market(path)
+
+
+def test_truncated_file_rejected(tmp_path):
+    path = tmp_path / "trunc.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 3\n"
+        "1 1 1.0\n"
+    )
+    with pytest.raises(SparseFormatError):
+        read_matrix_market(path)

@@ -1,0 +1,86 @@
+"""The 20-matrix paper suite: metadata, scaling, memoisation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.sparse.suite import (
+    DEFAULT_MAX_NNZ,
+    FIG4_MATRICES,
+    FIG6B_MATRICES,
+    PAPER_SUITE,
+    get_matrix,
+    get_spec,
+    list_matrices,
+    suite_summary,
+)
+
+
+def test_exactly_twenty_matrices():
+    assert len(PAPER_SUITE) == 20
+    assert len(list_matrices()) == 20
+
+
+def test_fig4_subset_is_in_suite():
+    assert len(FIG4_MATRICES) == 6
+    for name in FIG4_MATRICES:
+        assert name in list_matrices()
+
+
+def test_fig6b_subset():
+    assert set(FIG6B_MATRICES) == {"af_shell10", "pwtk", "BenElechi1"}
+
+
+def test_published_shape_ranges_match_paper():
+    """Sec. III: columns from 1.4k to 6.8M."""
+    ns = [spec.n for spec in PAPER_SUITE]
+    assert min(ns) == 1_440  # msc01440
+    assert max(ns) == 6_815_744  # adaptive
+
+
+def test_scaling_respects_budget():
+    m = get_matrix("af_shell10", max_nnz=30_000)
+    assert m.nnz <= 30_000 * 1.6  # generator overshoot tolerance
+    assert m.nrows < get_spec("af_shell10").n
+
+
+def test_small_matrices_not_scaled():
+    spec = get_spec("msc01440")
+    m = get_matrix("msc01440", max_nnz=DEFAULT_MAX_NNZ)
+    assert m.nrows == spec.n
+
+
+def test_scaling_preserves_avg_row_length():
+    spec = get_spec("pwtk")
+    m = get_matrix("pwtk", max_nnz=40_000)
+    assert m.avg_row_length == pytest.approx(spec.avg_row, rel=0.35)
+
+
+def test_memoisation_returns_same_object():
+    a = get_matrix("fv1")
+    b = get_matrix("fv1")
+    assert a is b
+
+
+def test_unknown_matrix_rejected():
+    with pytest.raises(ExperimentError):
+        get_matrix("not_a_matrix")
+
+
+def test_all_matrices_instantiate_small():
+    for name in list_matrices():
+        m = get_matrix(name, max_nnz=8_000)
+        assert m.nnz > 0
+        assert m.nrows == m.ncols
+
+
+def test_suite_summary_rows():
+    rows = suite_summary(max_nnz=8_000)
+    assert len(rows) == 20
+    for row in rows:
+        assert row["published_nnz"] >= row["nnz"] * 0.5 or row["published_nnz"] <= 200_000
+
+
+def test_structure_classes_cover_paper_spread():
+    kinds = {spec.kind for spec in PAPER_SUITE}
+    assert {"banded_fem", "stencil", "circuit", "mesh", "kkt", "dense_block"} <= kinds

@@ -1,0 +1,37 @@
+"""Reference SpMV kernels (golden model checks)."""
+
+import numpy as np
+
+from repro.sparse.spmv import spmv_csr, spmv_csr_scalar, spmv_flops, spmv_sell
+from repro.sparse.suite import get_matrix
+
+from conftest import small_csr
+
+
+def test_scalar_matches_vectorised():
+    m = small_csr()
+    x = np.random.default_rng(4).normal(size=m.ncols)
+    assert np.allclose(spmv_csr_scalar(m, x), spmv_csr(m, x))
+
+
+def test_sell_matches_scalar():
+    m = small_csr(nrows=90, ncols=80)
+    x = np.random.default_rng(5).normal(size=m.ncols)
+    assert np.allclose(spmv_sell(m.to_sell(32), x), spmv_csr_scalar(m, x))
+
+
+def test_flops_definition():
+    assert spmv_flops(100) == 200
+
+
+def test_suite_matrix_formats_agree():
+    m = get_matrix("nasa4704", max_nnz=10_000)
+    x = np.random.default_rng(6).normal(size=m.ncols)
+    y_csr = spmv_csr(m, x)
+    y_sell = spmv_sell(m.to_sell(32), x)
+    assert np.allclose(y_csr, y_sell)
+
+
+def test_zero_vector_gives_zero():
+    m = small_csr()
+    assert not spmv_csr(m, np.zeros(m.ncols)).any()

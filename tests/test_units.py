@@ -1,0 +1,65 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro.units import (
+    bandwidth_gbps,
+    bits_to_bytes,
+    bytes_to_bits,
+    ceil_div,
+    format_bytes,
+    is_power_of_two,
+)
+
+
+def test_bits_to_bytes_exact():
+    assert bits_to_bytes(512) == 64
+    assert bits_to_bytes(32) == 4
+
+
+def test_bits_to_bytes_rejects_partial_bytes():
+    with pytest.raises(ValueError):
+        bits_to_bytes(9)
+
+
+def test_bytes_to_bits_roundtrip():
+    assert bytes_to_bits(bits_to_bytes(512)) == 512
+
+
+def test_bandwidth_full_bus():
+    # 32 bytes per 1 GHz cycle = 32 GB/s, the paper's ideal channel.
+    assert bandwidth_gbps(32, 1) == pytest.approx(32.0)
+
+
+def test_bandwidth_scales_with_cycles():
+    assert bandwidth_gbps(64, 4) == pytest.approx(16.0)
+
+
+def test_bandwidth_rejects_zero_cycles():
+    with pytest.raises(ValueError):
+        bandwidth_gbps(1, 0)
+
+
+def test_ceil_div():
+    assert ceil_div(0, 4) == 0
+    assert ceil_div(1, 4) == 1
+    assert ceil_div(4, 4) == 1
+    assert ceil_div(5, 4) == 2
+
+
+def test_ceil_div_rejects_bad_divisor():
+    with pytest.raises(ValueError):
+        ceil_div(3, 0)
+
+
+def test_is_power_of_two():
+    assert is_power_of_two(1)
+    assert is_power_of_two(256)
+    assert not is_power_of_two(0)
+    assert not is_power_of_two(12)
+    assert not is_power_of_two(-4)
+
+
+def test_format_bytes():
+    assert format_bytes(27 * 1024) == "27.0 KiB"
+    assert format_bytes(512) == "512.0 B"

@@ -1,0 +1,75 @@
+"""LRU cache model."""
+
+import pytest
+
+from repro.config import BaselineConfig
+from repro.errors import ConfigError
+from repro.vpc.llc import LruCache
+
+
+def test_cold_miss_then_hit():
+    cache = LruCache(4096, ways=4)
+    assert not cache.access(0)
+    assert cache.access(0)
+    assert cache.access(63)  # same line
+    assert not cache.access(64)  # next line
+
+
+def test_lru_eviction_order():
+    cache = LruCache(4 * 64, ways=4)  # one set, 4 ways
+    for i in range(4):
+        cache.access(i * 64 * 1)  # hmm: one set -> all map to set 0
+    # Re-touch line 0 so line 1 is LRU.
+    cache.access(0)
+    cache.access(4 * 64)  # evicts line 1
+    assert cache.access(0)
+    assert not cache.access(1 * 64)
+
+
+def test_set_mapping_isolates_sets():
+    cache = LruCache(2 * 64 * 2, ways=2)  # 2 sets
+    # Lines 0, 2, 4 map to set 0; lines 1, 3 to set 1.
+    cache.access(0 * 64)
+    cache.access(1 * 64)
+    cache.access(2 * 64)
+    cache.access(4 * 64)  # evicts line 0 in set 0
+    assert cache.access(1 * 64)  # set 1 untouched
+    assert not cache.access(0)
+
+
+def test_hit_rate_and_reset():
+    cache = LruCache(4096)
+    cache.access(0)
+    cache.access(0)
+    assert cache.hit_rate == pytest.approx(0.5)
+    cache.reset()
+    assert cache.hit_rate == 0.0
+    assert not cache.access(0)
+
+
+def test_working_set_behaviour():
+    """A working set within capacity hits; beyond capacity it thrashes."""
+    cache = LruCache(64 * 64, ways=8)  # 64 lines
+    lines_fit = list(range(32))
+    for _ in range(3):
+        for line in lines_fit:
+            cache.access(line * 64)
+    assert cache.hit_rate > 0.6
+
+    cache.reset()
+    lines_large = list(range(256))
+    for _ in range(3):
+        for line in lines_large:
+            cache.access(line * 64)
+    assert cache.hit_rate < 0.05
+
+
+def test_from_config():
+    cache = LruCache.from_config(BaselineConfig())
+    assert cache.size_bytes == 1 << 20
+    assert cache.num_sets == 2048
+
+
+def test_geometry_validation():
+    with pytest.raises(ConfigError):
+        LruCache(1000, ways=3)

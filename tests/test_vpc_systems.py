@@ -1,0 +1,162 @@
+"""Pack and baseline system models: Fig. 5 behaviours."""
+
+import numpy as np
+import pytest
+
+from repro.config import BaselineConfig, VpcConfig
+from repro.errors import ExperimentError
+from repro.sparse.suite import get_matrix, get_spec
+from repro.vpc import BaselineSystem, PackSystem, PACK_SYSTEMS
+from repro.vpc.ara import AraTimingModel
+from repro.vpc.baseline import scaled_llc_bytes
+from repro.vpc.prefetcher import plan_tiles
+
+from conftest import small_csr
+
+
+MAX_NNZ = 120_000
+
+
+def _runs(name):
+    spec = get_spec(name)
+    matrix = get_matrix(name, max_nnz=MAX_NNZ)
+    scale = matrix.nrows / spec.n
+    base = BaselineSystem().run(matrix, name, llc_scale=scale)
+    packs = {
+        system: PackSystem(label, name=system).run(matrix, name)
+        for system, label in PACK_SYSTEMS.items()
+    }
+    return base, packs
+
+
+class TestPaperShapeFig5:
+    def test_pack0_beats_base(self):
+        base, packs = _runs("pwtk")
+        assert packs["pack0"].runtime_cycles < base.runtime_cycles
+
+    def test_pack256_beats_pack0_substantially(self):
+        base, packs = _runs("pwtk")
+        assert packs["pack256"].runtime_cycles < 0.5 * packs["pack0"].runtime_cycles
+
+    def test_speedup_ordering_monotone(self):
+        base, packs = _runs("G3_circuit")
+        runtimes = [
+            packs["pack0"].runtime_cycles,
+            packs["pack64"].runtime_cycles,
+            packs["pack256"].runtime_cycles,
+        ]
+        assert runtimes[0] >= runtimes[1] >= runtimes[2]
+
+    def test_base_bandwidth_utilization_is_poor(self):
+        base, _ = _runs("circuit5M_dc")
+        assert base.bandwidth_utilization() < 0.15
+
+    def test_pack_traffic_overhead_shrinks_with_window(self):
+        _, packs = _runs("pwtk")
+        assert packs["pack0"].traffic_vs_ideal > 4.0  # paper: 5.6x avg
+        assert packs["pack256"].traffic_vs_ideal < 2.5  # paper: 1.29x avg
+        assert packs["pack256"].traffic_vs_ideal < packs["pack0"].traffic_vs_ideal
+
+    def test_base_traffic_is_near_ideal(self):
+        base, _ = _runs("G3_circuit")
+        assert base.traffic_vs_ideal < 2.0
+
+    def test_indirect_time_shrinks_with_coalescing(self):
+        _, packs = _runs("af_shell10")
+        assert (
+            packs["pack256"].indirect_cycles < 0.5 * packs["pack0"].indirect_cycles
+        )
+
+    def test_result_metrics_consistent(self):
+        base, packs = _runs("HPCG")
+        for result in [base, *packs.values()]:
+            assert result.runtime_cycles > 0
+            assert 0 <= result.indirect_fraction <= 1
+            assert result.gflops > 0
+            assert result.traffic_vs_ideal >= 0.99
+
+
+class TestBaselineInternals:
+    def test_llc_scaling_floors_and_rounds(self):
+        config = BaselineConfig()
+        assert scaled_llc_bytes(config, 1.0) == config.llc_bytes
+        small = scaled_llc_bytes(config, 1e-6)
+        assert small >= 4096
+        assert small % (config.llc_ways * config.line_bytes) == 0
+
+    def test_llc_scale_monotone(self):
+        config = BaselineConfig()
+        sizes = [scaled_llc_bytes(config, s) for s in (0.01, 0.1, 0.5, 1.0)]
+        assert sizes == sorted(sizes)
+
+    def test_small_vector_mostly_hits(self):
+        matrix = small_csr(nrows=200, ncols=50)  # vec = 400 B
+        base = BaselineSystem().run(matrix, "tiny", llc_scale=1.0)
+        assert base.breakdown["vec_misses"] < 0.2 * matrix.nnz
+
+    def test_breakdown_fields_present(self):
+        base = BaselineSystem().run(small_csr(), "t")
+        for key in ("gather_cycles", "compute_cycles", "vec_misses", "llc_bytes"):
+            assert key in base.breakdown
+
+
+class TestPackInternals:
+    def test_pack_systems_mapping(self):
+        assert PACK_SYSTEMS == {
+            "pack0": "MLPnc",
+            "pack64": "MLP64",
+            "pack256": "MLP256",
+        }
+
+    def test_cycle_adapter_model_option(self):
+        matrix = get_matrix("msc01440", max_nnz=8_000)
+        fast = PackSystem("MLP64", adapter_model="fast").run(matrix, "m")
+        cyc = PackSystem("MLP64", adapter_model="cycle").run(matrix, "m")
+        ratio = cyc.runtime_cycles / fast.runtime_cycles
+        assert 0.4 <= ratio <= 2.5
+
+    def test_invalid_adapter_model_rejected(self):
+        with pytest.raises(ExperimentError):
+            PackSystem("MLP64", adapter_model="rtl")
+
+    def test_tile_plan_covers_all_entries(self):
+        from repro.axipack.metrics import AdapterMetrics
+
+        metrics = AdapterMetrics(
+            variant="MLP64", count=100_000, cycles=50_000, idx_txns=6250,
+            elem_txns=20_000,
+        )
+        schedule = plan_tiles(100_000, metrics, total_stream_bytes=800_000)
+        assert schedule.num_tiles * schedule.entries_per_tile >= 100_000
+
+    def test_prefetch_time_at_least_dram_time(self):
+        from repro.axipack.metrics import AdapterMetrics
+
+        metrics = AdapterMetrics(
+            variant="MLPnc", count=10_000, cycles=25_000, idx_txns=625,
+            elem_txns=10_000,
+        )
+        schedule = plan_tiles(10_000, metrics, total_stream_bytes=80_000)
+        assert schedule.prefetch_cycles_per_tile >= schedule.indirect_cycles_per_tile
+
+
+class TestAraTiming:
+    def test_sell_compute_scales_with_entries(self):
+        ara = AraTimingModel(VpcConfig())
+        small = ara.sell_compute_cycles(1000, nslices=4)
+        large = ara.sell_compute_cycles(10_000, nslices=40)
+        assert large > 8 * small
+
+    def test_sixteen_lanes_throughput(self):
+        ara = AraTimingModel(VpcConfig())
+        cycles = ara.sell_compute_cycles(16_000, nslices=1)
+        assert cycles >= 1000  # 16k entries / 16 lanes
+        assert cycles < 3000
+
+    def test_zero_entries(self):
+        ara = AraTimingModel(VpcConfig())
+        assert ara.sell_compute_cycles(0, nslices=0) == 0.0
+
+    def test_gather_cpi(self):
+        ara = AraTimingModel(VpcConfig())
+        assert ara.gather_cycles_on_hit(100, cpi=4.0) == 400.0
