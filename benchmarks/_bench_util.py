@@ -1,5 +1,9 @@
 """Benchmark harness helpers.
 
+Formerly ``benchmarks/conftest.py`` — renamed so the module can never
+shadow ``tests/conftest.py`` under the bare ``conftest`` import name
+(which used to break tier-1 collection from the repo root).
+
 Every paper table/figure has one benchmark module.  Each benchmark runs
 the corresponding experiment once per round (the experiments are
 deterministic), records the headline numbers in ``extra_info`` so they

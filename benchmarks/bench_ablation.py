@@ -16,9 +16,10 @@ from dataclasses import replace
 from repro.axipack import fast_indirect_stream, run_indirect_stream
 from repro.axipack.streams import matrix_index_stream
 from repro.config import AdapterConfig, CoalescerConfig, DramConfig, mlp_config
+from repro.engine import SweepExecutor, adapter_grid
 from repro.sparse.suite import get_matrix
 
-from conftest import record
+from _bench_util import record
 
 
 def _stream(name="pwtk", fmt="sell", max_nnz=120_000):
@@ -27,18 +28,22 @@ def _stream(name="pwtk", fmt="sell", max_nnz=120_000):
 
 def test_ablation_window_sweep(benchmark):
     """Bandwidth grows with W then saturates; the knee sits near the
-    paper's W=256 pick."""
-    idx = _stream()
+    paper's W=256 pick.  Runs through the engine: one matrix group,
+    eight window variants sharing the cached stream analysis."""
+    variants = tuple(f"MLP{w}" for w in (8, 16, 32, 64, 128, 256, 512, 1024))
 
     def sweep():
-        rows = []
-        for window in (8, 16, 32, 64, 128, 256, 512, 1024):
-            m = fast_indirect_stream(idx, mlp_config(window))
-            rows.append(
-                {"window": window, "bw_gbps": round(m.indirect_bw_gbps, 2),
-                 "coal_rate": round(m.coalesce_rate, 2)}
-            )
-        return rows
+        cells = SweepExecutor().run(
+            adapter_grid(("pwtk",), variants, max_nnz=120_000)
+        )
+        return [
+            {
+                "window": int(cell["variant"][3:]),
+                "bw_gbps": round(cell["indir_gbps"], 2),
+                "coal_rate": round(cell["coal_rate"], 2),
+            }
+            for cell in cells
+        ]
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
     record(benchmark, "ablation_window", {"rows": rows, "summary": {

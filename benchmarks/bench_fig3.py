@@ -10,7 +10,7 @@ import pytest
 
 from repro.experiments.fig3 import run_fig3
 
-from conftest import record
+from _bench_util import record
 
 
 @pytest.fixture(scope="module")

@@ -5,7 +5,7 @@ import pytest
 
 from repro.experiments.fig4 import run_fig4
 
-from conftest import record
+from _bench_util import record
 
 
 @pytest.fixture(scope="module")

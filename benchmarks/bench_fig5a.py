@@ -4,7 +4,7 @@ import pytest
 
 from repro.experiments.fig5a import run_fig5a
 
-from conftest import record
+from _bench_util import record
 
 
 @pytest.fixture(scope="module")

@@ -4,7 +4,7 @@ import pytest
 
 from repro.experiments.fig6a import run_fig6a
 
-from conftest import record
+from _bench_util import record
 
 
 @pytest.fixture(scope="module")

@@ -4,7 +4,7 @@ import pytest
 
 from repro.experiments.fig6b import run_fig6b
 
-from conftest import record
+from _bench_util import record
 
 
 @pytest.fixture(scope="module")

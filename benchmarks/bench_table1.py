@@ -2,7 +2,7 @@
 
 from repro.experiments.table1 import run_table1
 
-from conftest import record
+from _bench_util import record
 
 
 def test_table1_parameters(benchmark):

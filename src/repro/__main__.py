@@ -6,12 +6,23 @@
     python -m repro report                # regenerate all experiments
     python -m repro fig3|fig4|fig5a|...   # one experiment's table
     python -m repro stream pwtk MLP256    # one adapter run
+    python -m repro sweep pwtk,hood MLP64,MLP256   # ad-hoc engine sweep
+
+Experiment and sweep commands accept engine flags:
+
+``--workers N``   fan the grid out over N worker processes
+``--nnz N``       per-matrix nonzero budget (overrides REPRO_SCALE_NNZ)
+``--model M``     adapter timing model, ``fast`` or ``cycle``
+``--quick``       tiny canary run (3 small matrices, 12k nonzeros)
 """
 
 from __future__ import annotations
 
 import sys
+from dataclasses import dataclass
 
+from .engine import SweepExecutor, adapter_grid
+from .errors import ReproError
 from .experiments import (
     format_table,
     run_fig3,
@@ -34,6 +45,72 @@ _RUNNERS = {
     "fig6b": run_fig6b,
 }
 
+#: runners without a matrix grid (no engine flags apply).
+_PARAMLESS = ("table1", "fig6a")
+
+#: small, fast suite members for ``--quick`` canary runs.
+QUICK_MATRICES = ("pwtk", "G3_circuit", "msc01440")
+QUICK_NNZ = 12_000
+
+
+@dataclass
+class _Options:
+    workers: int | None = None
+    nnz: int | None = None
+    model: str | None = None
+    quick: bool = False
+
+
+def _parse_flags(args: list[str]) -> tuple[list[str], _Options]:
+    """Split positional arguments from engine flags."""
+    positional: list[str] = []
+    opts = _Options()
+    it = iter(args)
+    for arg in it:
+        if arg == "--quick":
+            opts.quick = True
+        elif arg in ("--workers", "--nnz", "--model"):
+            try:
+                value = next(it)
+            except StopIteration:
+                raise ReproError(f"{arg} needs a value") from None
+            if arg == "--model":
+                opts.model = value
+            else:
+                try:
+                    setattr(opts, arg[2:], int(value))
+                except ValueError:
+                    raise ReproError(f"{arg} needs an integer, got {value!r}") from None
+        elif arg.startswith("--"):
+            raise ReproError(f"unknown flag {arg!r}")
+        else:
+            positional.append(arg)
+    if opts.workers is not None and opts.workers < 1:
+        raise ReproError("--workers must be >= 1")
+    if opts.nnz is not None and opts.nnz < 1000:
+        raise ReproError("--nnz must be >= 1000")
+    return positional, opts
+
+
+def _experiment_kwargs(name: str, opts: _Options) -> dict:
+    if name in _PARAMLESS:
+        if opts != _Options():
+            raise ReproError(
+                f"{name} has no matrix grid; engine flags do not apply"
+            )
+        return {}
+    kwargs: dict = {}
+    if opts.workers:
+        kwargs["executor"] = SweepExecutor(opts.workers)
+    if opts.nnz:
+        kwargs["max_nnz"] = opts.nnz
+    if opts.model:
+        kwargs["model"] = opts.model
+    if opts.quick:
+        kwargs.setdefault("max_nnz", QUICK_NNZ)
+        kwargs["matrices"] = QUICK_MATRICES
+    return kwargs
+
 
 def _cmd_suite() -> int:
     from .sparse.suite import suite_summary
@@ -47,8 +124,8 @@ def _cmd_report() -> int:
     return 0
 
 
-def _cmd_experiment(name: str) -> int:
-    result = _RUNNERS[name]()
+def _cmd_experiment(name: str, opts: _Options) -> int:
+    result = _RUNNERS[name](**_experiment_kwargs(name, opts))
     print(format_table(result["rows"]))
     print("\nsummary:")
     for key, value in result["summary"].items():
@@ -56,16 +133,50 @@ def _cmd_experiment(name: str) -> int:
     return 0
 
 
-def _cmd_stream(matrix: str, variant: str) -> int:
-    from .axipack import fast_indirect_stream
+def _cmd_stream(matrix: str, variant: str, opts: _Options) -> int:
+    from .axipack import fast_indirect_stream, run_indirect_stream
     from .axipack.streams import matrix_index_stream
     from .config import variant_config
     from .sparse import get_matrix
+    from .sparse.suite import DEFAULT_MAX_NNZ
 
-    indices = matrix_index_stream(get_matrix(matrix), "sell")
-    metrics = fast_indirect_stream(indices, variant_config(variant), variant=variant)
+    if opts.workers or opts.quick:
+        raise ReproError("stream runs one point; only --nnz/--model apply")
+    if opts.model not in (None, "fast", "cycle"):
+        raise ReproError(f"unknown adapter model {opts.model!r}")
+    indices = matrix_index_stream(
+        get_matrix(matrix, opts.nnz or DEFAULT_MAX_NNZ), "sell"
+    )
+    run = run_indirect_stream if opts.model == "cycle" else fast_indirect_stream
+    metrics = run(indices, variant_config(variant), variant=variant)
     for key, value in metrics.summary().items():
         print(f"{key} = {value}")
+    return 0
+
+
+def _cmd_sweep(matrices: str, variants: str, opts: _Options) -> int:
+    """Ad-hoc adapter sweep straight through the engine."""
+    from .sparse.suite import DEFAULT_MAX_NNZ
+
+    executor = SweepExecutor(opts.workers) if opts.workers else SweepExecutor()
+    points = adapter_grid(
+        tuple(matrices.split(",")),
+        tuple(variants.split(",")),
+        max_nnz=opts.nnz or (QUICK_NNZ if opts.quick else DEFAULT_MAX_NNZ),
+        model=opts.model or "fast",
+    )
+    rows = [
+        {
+            "matrix": cell["matrix"],
+            "variant": cell["variant"],
+            "indir_gbps": round(cell["indir_gbps"], 2),
+            "coal_rate": round(cell["coal_rate"], 3),
+            "elem_txns": cell["elem_txns"],
+            "cycles": cell["cycles"],
+        }
+        for cell in executor.run(points)
+    ]
+    print(format_table(rows))
     return 0
 
 
@@ -74,15 +185,34 @@ def main(argv: list[str] | None = None) -> int:
     if not argv:
         print(__doc__)
         return 2
-    command, *args = argv
-    if command == "suite":
-        return _cmd_suite()
-    if command == "report":
-        return _cmd_report()
-    if command in _RUNNERS:
-        return _cmd_experiment(command)
-    if command == "stream" and len(args) == 2:
-        return _cmd_stream(args[0], args[1])
+    command, *rest = argv
+    try:
+        args, opts = _parse_flags(rest)
+        if command in ("suite", "report", *_RUNNERS) and args:
+            # Catches stray positionals and single-dash typos such as
+            # `fig4 -workers 4`, which would otherwise run the default
+            # configuration while looking like a flagged invocation.
+            raise ReproError(f"{command} takes no positional arguments: {args}")
+        if command == "suite":
+            if opts != _Options():
+                raise ReproError("suite takes no flags")
+            return _cmd_suite()
+        if command == "report":
+            if opts != _Options():
+                raise ReproError(
+                    "report is driven by env knobs (REPRO_SCALE_NNZ, "
+                    "REPRO_ADAPTER_MODEL, REPRO_WORKERS); flags do not apply"
+                )
+            return _cmd_report()
+        if command in _RUNNERS:
+            return _cmd_experiment(command, opts)
+        if command == "stream" and len(args) == 2:
+            return _cmd_stream(args[0], args[1], opts)
+        if command == "sweep" and len(args) == 2:
+            return _cmd_sweep(args[0], args[1], opts)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     print(__doc__)
     return 2
 

@@ -18,7 +18,7 @@ Use :func:`repro.axipack.run_indirect_stream` for either.
 
 from .adapter import IndirectStreamUnit, run_indirect_stream
 from .burst import IndirectBurst, NarrowRequest
-from .fastmodel import fast_indirect_stream
+from .fastmodel import StreamAnalysis, analyze_stream, fast_indirect_stream
 from .metrics import AdapterMetrics
 from .scatter import fast_indirect_scatter, run_indirect_scatter
 from .strided import StridedBurst, fast_strided_stream, run_strided_stream
@@ -30,6 +30,8 @@ __all__ = [
     "IndirectBurst",
     "NarrowRequest",
     "fast_indirect_stream",
+    "analyze_stream",
+    "StreamAnalysis",
     "AdapterMetrics",
     "run_indirect_scatter",
     "fast_indirect_scatter",

@@ -21,6 +21,8 @@ and the cycle counts (within a tolerance band) against the cycle model.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..config import AdapterConfig, DramConfig
@@ -32,45 +34,164 @@ from .metrics import AdapterMetrics
 PIPELINE_FILL_CYCLES = 64
 
 
+@dataclass(frozen=True)
+class StreamAnalysis:
+    """Window-independent per-stream artifacts, shared across variants.
+
+    One index stream feeds many adapter configurations in a sweep; the
+    wide-block id stream and its stable by-value sort depend only on
+    the stream and the element/access geometry, so the engine computes
+    them once per matrix (see :mod:`repro.engine.cache`) and every
+    variant and window size reuses them.
+    """
+
+    #: wide-block id per narrow request.
+    blocks: np.ndarray
+    #: ``block_sort_order(blocks)``.
+    order: np.ndarray
+    #: element geometry the blocks were derived with.
+    elements_per_block: int
+
+
+def analyze_stream(indices: np.ndarray, elements_per_block: int) -> StreamAnalysis:
+    """Precompute the shared coalescing analysis for one index stream."""
+    blocks = np.ascontiguousarray(indices, dtype=np.int64) // elements_per_block
+    return StreamAnalysis(blocks, block_sort_order(blocks), elements_per_block)
+
+
+def _analysis_matches(
+    analysis: StreamAnalysis, indices: np.ndarray, elements_per_block: int
+) -> bool:
+    """Sampled staleness check for a caller-provided analysis.
+
+    Geometry and length must match exactly; stream content is compared
+    at up to 16 evenly spread positions — enough to catch the common
+    stale case (two suite streams truncated to the same budget) without
+    rescanning the whole stream.  Callers passing a hand-built analysis
+    for a *different* stream that agrees at every probe point get it
+    accepted; the engine's keyed cache never does that.
+    """
+    count = int(indices.size)
+    if analysis.elements_per_block != elements_per_block:
+        return False
+    if analysis.blocks.size != count:
+        return False
+    if count == 0:
+        return True
+    probes = np.linspace(0, count - 1, num=min(16, count), dtype=np.int64)
+    return bool(
+        np.array_equal(analysis.blocks[probes], indices[probes] // elements_per_block)
+    )
+
+
+def block_sort_order(blocks: np.ndarray) -> np.ndarray:
+    """Stable by-value argsort of a block stream.
+
+    This is the window-*independent* half of
+    :func:`coalesce_window_exact`'s work: sweeps over many window sizes
+    (or variants sharing one stream) compute it once and pass it via
+    the ``order`` argument, which the engine's per-matrix analysis
+    cache does automatically.
+    """
+    return np.argsort(np.asarray(blocks, dtype=np.int64), kind="stable")
+
+
 def coalesce_window_exact(
-    blocks: np.ndarray, window: int
+    blocks: np.ndarray, window: int, order: np.ndarray | None = None
 ) -> tuple[int, np.ndarray]:
     """Count wide element accesses for a W-window coalescer.
 
     ``blocks`` is the per-request wide-block id stream.  Returns
     ``(total_wide_accesses, warp_tags)`` where ``warp_tags`` is the
     block id of every issued warp in issue order (used for the DRAM
-    bank/row walk).
+    bank/row walk).  ``order``, if given, must be
+    ``block_sort_order(blocks)`` (precomputed for sweep reuse).
 
     Implements exactly the cycle model's grouping: all requests of one
     window that fall into the same block form one warp; a warp left
     open at a window swap keeps absorbing matching requests of the next
     window (cache-less reuse across windows).
+
+    Fully vectorized; bit-exact against the retained per-window oracle
+    :func:`repro.axipack.reference.coalesce_window_reference` (the
+    property-based differential suite enforces this).  The per-window
+    warp candidates derive from the stable by-value sort — an element
+    opens a warp iff its block's previous occurrence falls in an
+    earlier window — and the sequential carry-across-windows dependence
+    collapses analytically:
+
+    With ``K[t]`` the carry tag entering window ``t``, ``C[t]`` the
+    window's distinct blocks in first-occurrence order, and ``L[t]`` /
+    ``S[t]`` the last / second-to-last entry of ``C[t]``, the oracle's
+    update is exactly ``K[t+1] = S[t] if (K[t] == L[t] and |C[t]| >= 2)
+    else L[t]``.  So only the *predicate* ``x[t] = (K[t] == L[t])``
+    couples consecutive windows, and its transition is one of four
+    boolean maps (constant / identity / negation), which a prefix scan
+    over anchor points and a negation-parity cumsum resolves without a
+    Python loop.
     """
     if blocks.size == 0:
         return 0, np.empty(0, dtype=np.int64)
-    tags: list[int] = []
-    carry_tag: int | None = None
-    for start in range(0, len(blocks), window):
-        chunk = blocks[start : start + window]
-        distinct, first_pos = np.unique(chunk, return_index=True)
-        # Process in first-occurrence order, as the watcher's
-        # oldest-unabsorbed scan does.
-        order = np.argsort(first_pos)
-        ordered = distinct[order]
-        if carry_tag is not None and carry_tag in distinct:
-            # The open warp absorbs its hits first, at no new access.
-            ordered = ordered[ordered != carry_tag]
-            if ordered.size == 0:
-                continue  # whole window merged into the open warp
-            tags.extend(int(b) for b in ordered)
-            carry_tag = int(ordered[-1])
-        else:
-            # The previously open warp (if any) was already counted at
-            # arming time; new distinct blocks each open one warp.
-            tags.extend(int(b) for b in ordered)
-            carry_tag = int(ordered[-1])
-    return len(tags), np.asarray(tags, dtype=np.int64)
+    blocks = np.asarray(blocks, dtype=np.int64)
+    n = blocks.size
+    if order is None:
+        order = block_sort_order(blocks)
+
+    # In the stable by-value order, an element's left neighbour within
+    # its equal-block run is that block's previous occurrence in the
+    # stream; the element opens a warp iff that neighbour lies in an
+    # earlier window (or the run starts here).
+    sorted_blocks = blocks[order]
+    head = np.empty(n, dtype=bool)
+    head[0] = True
+    head[1:] = (sorted_blocks[1:] != sorted_blocks[:-1]) | (
+        order[1:] // window != order[:-1] // window
+    )
+    opens = np.zeros(n, dtype=bool)
+    opens[order[head]] = True
+    first_pos = np.flatnonzero(opens)
+
+    cand = blocks[first_pos]  # warp candidates, window-grouped,
+    cand_win = first_pos // window  # in first-occurrence order
+    num_win = (n - 1) // window + 1
+    counts = np.bincount(cand_win, minlength=num_win)
+    ends = np.cumsum(counts)
+    last = cand[ends - 1]
+    multi = counts >= 2
+    no_carry = int(sorted_blocks[0]) - 1  # sentinel below every real tag
+    # Second-to-last candidate; the gather index is only meaningful
+    # where the window has >= 2 candidates (masked below).
+    second = np.where(multi, cand[ends - 2], no_carry)
+
+    # Resolve x[t] = (K[t] == L[t]).  Transition into window t:
+    #   x[t] = eqS[t-1] if (x[t-1] and multi[t-1]) else eqL[t-1]
+    # where eqL = (L[t-1] == L[t]), eqS = (S[t-1] == L[t]).
+    x = np.zeros(num_win, dtype=bool)
+    if num_win > 1:
+        gate = multi[:-1]
+        eq_last = last[:-1] == last[1:]
+        eq_second = gate & (second[:-1] == last[1:])
+        # constant transitions (result ignores x[t-1]) anchor the scan;
+        # between anchors every transition is identity or negation.
+        const = ~gate | (eq_second == eq_last)
+        neg = gate & ~eq_second & eq_last
+        anchor_t = np.concatenate(([0], np.flatnonzero(const) + 1))
+        anchor_v = np.concatenate(([False], eq_last[const]))
+        neg_csum = np.concatenate(([0], np.cumsum(neg)))
+        ai = np.searchsorted(anchor_t, np.arange(num_win), side="right") - 1
+        parity = (neg_csum - neg_csum[anchor_t[ai]]) & 1
+        x = anchor_v[ai] ^ parity.astype(bool)
+
+    # Carry tag entering each window (no_carry = none yet).
+    carry = np.full(num_win, no_carry, dtype=np.int64)
+    if num_win > 1:
+        carried_second = x[:-1] & multi[:-1]
+        carry[1:] = np.where(carried_second, second[:-1], last[:-1])
+
+    # A window's carry hit (at most one — candidates are distinct)
+    # merges into the open warp at no new access; the rest are issued.
+    tags = cand[cand != carry[cand_win]]
+    return int(tags.size), tags
 
 
 def estimate_dram_cycles(
@@ -142,14 +263,27 @@ def fast_indirect_stream(
     config: AdapterConfig,
     dram_config: DramConfig | None = None,
     variant: str = "",
+    analysis: StreamAnalysis | None = None,
 ) -> AdapterMetrics:
     """Analytic counterpart of
-    :func:`repro.axipack.adapter.run_indirect_stream`."""
+    :func:`repro.axipack.adapter.run_indirect_stream`.
+
+    Pass ``analysis`` (from :func:`analyze_stream`) when sweeping many
+    variants over one stream to amortise the by-value sort; a stale
+    analysis (wrong element geometry, length, or sampled stream
+    content — see :func:`_analysis_matches`) falls back to recomputing.
+    """
     dram = dram_config or DramConfig()
     indices = np.ascontiguousarray(indices, dtype=np.int64)
     count = int(indices.size)
     elements_per_block = dram.access_bytes // config.element_bytes
-    blocks = indices // elements_per_block
+    if analysis is not None and _analysis_matches(
+        analysis, indices, elements_per_block
+    ):
+        blocks, sort_order = analysis.blocks, analysis.order
+    else:
+        blocks = indices // elements_per_block
+        sort_order = None
 
     idx_txns = ceil_div(count * config.index_bytes, dram.access_bytes)
     idx_blocks = np.arange(idx_txns, dtype=np.int64) + (1 << 22)  # separate region
@@ -163,7 +297,7 @@ def fast_indirect_stream(
     else:
         assert config.coalescer is not None
         window = config.coalescer.window
-        elem_txns, warp_tags = coalesce_window_exact(blocks, window)
+        elem_txns, warp_tags = coalesce_window_exact(blocks, window, sort_order)
         watcher_cycles = elem_txns + ceil_div(count, window)
         # SEQx serialises the upsizer input to one request per cycle;
         # the watcher and coalesce rate are identical to MLPx.

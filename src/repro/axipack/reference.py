@@ -1,0 +1,103 @@
+"""Reference (oracle) implementations of the fast model's hot paths.
+
+Deliberately simple per-window / per-transaction loops kept as
+differential-test oracles: the vectorized implementations in
+:mod:`repro.axipack.fastmodel` must match them *bit-exactly*
+(wide-access counts, warp-tag issue order, cycle estimates) on
+arbitrary streams.
+
+Provenance differs between the two:
+
+* :func:`coalesce_window_reference` is the verbatim seed
+  implementation of ``coalesce_window_exact`` — the battle-tested
+  original the vectorized rewrite replaced;
+* :func:`estimate_dram_cycles_reference` is an *independent
+  re-derivation* of the (already vectorized) stable-sort bank/row
+  walk as a one-pass open-row loop — a cross-check of the walk's
+  semantics, not its historical form.
+
+Do not call these from sweep code — they are orders of magnitude slower
+than the vectorized versions and exist only to pin their semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import DramConfig
+
+
+def coalesce_window_reference(
+    blocks: np.ndarray, window: int
+) -> tuple[int, np.ndarray]:
+    """Oracle for :func:`repro.axipack.fastmodel.coalesce_window_exact`.
+
+    Walks the stream window by window, exactly as the cycle model's
+    regulator/watcher pair does: all requests of one window that fall
+    into the same wide block form one warp; a warp left open at a window
+    swap keeps absorbing matching requests of the next window.
+    """
+    if blocks.size == 0:
+        return 0, np.empty(0, dtype=np.int64)
+    blocks = np.asarray(blocks, dtype=np.int64)
+    tags: list[int] = []
+    carry_tag: int | None = None
+    for start in range(0, len(blocks), window):
+        chunk = blocks[start : start + window]
+        distinct, first_pos = np.unique(chunk, return_index=True)
+        # Process in first-occurrence order, as the watcher's
+        # oldest-unabsorbed scan does.
+        order = np.argsort(first_pos)
+        ordered = distinct[order]
+        if carry_tag is not None and carry_tag in distinct:
+            # The open warp absorbs its hits first, at no new access.
+            ordered = ordered[ordered != carry_tag]
+            if ordered.size == 0:
+                continue  # whole window merged into the open warp
+            tags.extend(int(b) for b in ordered)
+            carry_tag = int(ordered[-1])
+        else:
+            # The previously open warp (if any) was already counted at
+            # arming time; new distinct blocks each open one warp.
+            tags.extend(int(b) for b in ordered)
+            carry_tag = int(ordered[-1])
+    return len(tags), np.asarray(tags, dtype=np.int64)
+
+
+def estimate_dram_cycles_reference(
+    blocks: np.ndarray, dram: DramConfig
+) -> tuple[int, dict[str, int]]:
+    """Oracle for :func:`repro.axipack.fastmodel.estimate_dram_cycles`.
+
+    Walks the transaction stream once, tracking the open row per bank;
+    the per-bank sequences it sees are identical to the vectorized
+    stable-sort walk, so the two must agree exactly.
+    """
+    txns = int(blocks.size)
+    if txns == 0:
+        return 0, {"row_changes": 0, "activates": 0}
+    blocks = np.asarray(blocks, dtype=np.int64)
+    open_row: dict[int, int] = {}
+    activates: dict[int, int] = {}
+    row_changes = 0
+    for block in blocks:
+        bank = int(block) % dram.num_banks
+        row = int(block) // (dram.num_banks * dram.blocks_per_row)
+        if bank not in open_row:
+            activates[bank] = 1
+        elif open_row[bank] != row:
+            activates[bank] = activates[bank] + 1
+            row_changes += 1
+        open_row[bank] = row
+
+    bus_cycles = txns * dram.t_burst
+    bank_cycles = max(activates.values()) * dram.t_rc
+    cycles = max(bus_cycles, bank_cycles)
+    if dram.t_refi > 0:
+        refreshes = cycles // dram.t_refi
+        cycles += refreshes * dram.t_rfc
+    stats = {
+        "row_changes": row_changes,
+        "activates": sum(activates.values()),
+    }
+    return cycles, stats

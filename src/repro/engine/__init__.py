@@ -1,0 +1,32 @@
+"""Batched sweep engine for paper-scale design-space exploration.
+
+The experiments (Figs. 3–6, Table I, ablations) are all grids of
+(matrix × adapter-variant/system × format) design points sharing heavy
+per-matrix work: synthesising the matrix, deriving its index stream,
+and the stream's block-id analysis.  This package factors that into
+
+* :mod:`repro.engine.points` — :class:`SweepPoint` and grid builders,
+* :mod:`repro.engine.cache` — the keyed per-matrix analysis cache,
+* :mod:`repro.engine.executor` — :class:`SweepExecutor`, which groups
+  points per matrix, runs each group through the cache, optionally
+  fans groups out over a ``concurrent.futures`` process pool, and
+  returns a tidy result table (one dict per point, input order).
+
+Every experiment runner and benchmark goes through this engine; it is
+the substrate future scaling work (sharding, multi-backend) plugs into.
+"""
+
+from .cache import AnalysisCache
+from .executor import SweepExecutor, workers_from_env
+from .points import ADAPTER_KIND, SYSTEM_KIND, SweepPoint, adapter_grid, system_grid
+
+__all__ = [
+    "AnalysisCache",
+    "SweepExecutor",
+    "workers_from_env",
+    "SweepPoint",
+    "adapter_grid",
+    "system_grid",
+    "ADAPTER_KIND",
+    "SYSTEM_KIND",
+]

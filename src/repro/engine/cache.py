@@ -1,0 +1,98 @@
+"""Keyed per-matrix analysis cache.
+
+One suite matrix feeds every variant of a sweep, and most of the cost
+of a design point is *not* the variant-specific model evaluation but
+the shared per-matrix work:
+
+* synthesising the scaled matrix (``get_matrix``),
+* deriving the format-ordered index stream,
+* the stream's wide-block analysis (block ids + stable by-value sort,
+  :class:`repro.axipack.fastmodel.StreamAnalysis`),
+* CSR layout statistics used for result-table annotation.
+
+The cache keys each artifact by the exact inputs that determine it, so
+a grid of V variants over M matrices does the heavy work M times, not
+M×V times.  There is one process-wide instance
+(:data:`repro.engine.executor._PROCESS_CACHE`): every serial executor
+in a process shares it, and each pool worker inherits/builds its own
+copy that survives across the tasks that worker serves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..axipack.fastmodel import StreamAnalysis, analyze_stream
+from ..axipack.streams import matrix_index_stream
+from ..sparse.csr import CsrMatrix
+from ..sparse.suite import get_matrix
+
+
+class AnalysisCache:
+    """Memoised per-matrix artifacts, keyed by their defining inputs.
+
+    Each artifact family is bounded to ``maxsize`` entries with
+    oldest-first eviction, so a long-lived process sweeping many
+    (matrix, fmt, scale) combinations cannot grow without limit.
+    """
+
+    def __init__(self, maxsize: int = 128) -> None:
+        self.maxsize = maxsize
+        self._streams: dict[tuple, np.ndarray] = {}
+        self._analyses: dict[tuple, StreamAnalysis] = {}
+        self._layouts: dict[tuple, dict] = {}
+
+    def _put(self, store: dict, key: tuple, value) -> None:
+        if len(store) >= self.maxsize:
+            store.pop(next(iter(store)))
+        store[key] = value
+
+    def matrix(self, name: str, max_nnz: int) -> CsrMatrix:
+        """The scaled suite matrix (already memoised upstream)."""
+        return get_matrix(name, max_nnz)
+
+    def stream(self, name: str, fmt: str, max_nnz: int) -> np.ndarray:
+        """The format-ordered column-index stream for one matrix."""
+        key = (name, fmt, max_nnz)
+        if key not in self._streams:
+            self._put(
+                self._streams, key, matrix_index_stream(self.matrix(name, max_nnz), fmt)
+            )
+        return self._streams[key]
+
+    def analysis(
+        self, name: str, fmt: str, max_nnz: int, elements_per_block: int
+    ) -> StreamAnalysis:
+        """Block-id stream + stable sort, shared across window sizes."""
+        key = (name, fmt, max_nnz, elements_per_block)
+        if key not in self._analyses:
+            self._put(
+                self._analyses,
+                key,
+                analyze_stream(self.stream(name, fmt, max_nnz), elements_per_block),
+            )
+        return self._analyses[key]
+
+    def layout_stats(self, name: str, fmt: str, max_nnz: int) -> dict:
+        """CSR/SELL layout statistics for result-table annotation."""
+        key = (name, fmt, max_nnz)
+        if key not in self._layouts:
+            matrix = self.matrix(name, max_nnz)
+            stream = self.stream(name, fmt, max_nnz)
+            self._put(
+                self._layouts,
+                key,
+                {
+                    "nrows": matrix.nrows,
+                    "ncols": matrix.ncols,
+                    "nnz": matrix.nnz,
+                    "avg_row": round(matrix.avg_row_length, 2),
+                    "stream_len": int(stream.size),
+                },
+            )
+        return dict(self._layouts[key])
+
+    def clear(self) -> None:
+        self._streams.clear()
+        self._analyses.clear()
+        self._layouts.clear()

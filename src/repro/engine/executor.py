@@ -1,0 +1,174 @@
+"""Batched sweep executor with per-matrix dedup and process fan-out.
+
+:class:`SweepExecutor` turns a list of :class:`~repro.engine.points.
+SweepPoint` into a tidy result table (one dict per point, in input
+order).  Points are grouped by :attr:`SweepPoint.group_key` so all
+variants sharing one matrix/format/scale reuse the same cached stream
+analysis, then groups run either serially in-process or across a
+``concurrent.futures.ProcessPoolExecutor``.
+
+Determinism: the result table depends only on the input points — the
+per-group work is pure (seeded generators, analytic models) and rows
+are reassembled in point order, so serial and pooled execution return
+identical tables (``tests/test_engine.py`` pins this).
+
+Worker processes are started with the default (fork on Linux) start
+method; each worker keeps a module-level :class:`AnalysisCache` that
+persists across the tasks it serves.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Sequence
+
+from ..axipack import fast_indirect_stream, run_indirect_stream
+from ..axipack.metrics import AdapterMetrics
+from ..config import DramConfig, variant_config
+from ..errors import ExperimentError
+from ..sparse.suite import get_spec
+from .cache import AnalysisCache
+from .points import ADAPTER_KIND, SYSTEM_KIND, SweepPoint
+
+#: per-process cache: the serial executor and every pool worker reuse
+#: matrix artifacts across all the groups they run.
+_PROCESS_CACHE = AnalysisCache()
+
+
+def workers_from_env(default: int = 1) -> int:
+    """Worker-count knob from ``REPRO_WORKERS`` (1 = serial)."""
+    raw = os.environ.get("REPRO_WORKERS", "")
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ExperimentError(f"bad REPRO_WORKERS={raw!r}") from exc
+    if value < 1:
+        raise ExperimentError("REPRO_WORKERS must be >= 1")
+    return value
+
+
+def _adapter_row(
+    point_base: tuple, variant: str, metrics: AdapterMetrics, dram: DramConfig
+) -> dict:
+    kind, matrix, fmt, max_nnz, model = point_base
+    return {
+        "kind": kind,
+        "matrix": matrix,
+        "format": fmt,
+        "variant": variant,
+        "model": model,
+        "max_nnz": max_nnz,
+        "count": metrics.count,
+        "cycles": metrics.cycles,
+        "idx_txns": metrics.idx_txns,
+        "elem_txns": metrics.elem_txns,
+        "indir_gbps": metrics.indirect_bw_gbps,
+        "elem_gbps": metrics.elem_bw_gbps,
+        "index_gbps": metrics.idx_bw_gbps,
+        "loss_gbps": metrics.loss_gbps(dram),
+        "coal_rate": metrics.coalesce_rate,
+    }
+
+
+def _run_adapter_group(group_key: tuple, variants: tuple[str, ...]) -> list[dict]:
+    kind, matrix, fmt, max_nnz, model = group_key
+    dram = DramConfig()
+    indices = _PROCESS_CACHE.stream(matrix, fmt, max_nnz)
+    rows = []
+    for variant in variants:
+        config = variant_config(variant)
+        if model == "cycle":
+            metrics = run_indirect_stream(indices, config, dram, variant=variant)
+        else:
+            analysis = _PROCESS_CACHE.analysis(
+                matrix, fmt, max_nnz, dram.access_bytes // config.element_bytes
+            )
+            metrics = fast_indirect_stream(
+                indices, config, dram, variant=variant, analysis=analysis
+            )
+        rows.append(_adapter_row(group_key, variant, metrics, dram))
+    return rows
+
+
+def _run_system_group(group_key: tuple, systems: tuple[str, ...]) -> list[dict]:
+    # Imported here so adapter-only sweeps never pay for the vpc stack.
+    from ..vpc import BaselineSystem, PACK_SYSTEMS, PackSystem
+
+    kind, matrix, fmt, max_nnz, model = group_key
+    spec = get_spec(matrix)
+    csr = _PROCESS_CACHE.matrix(matrix, max_nnz)
+    rows = []
+    for system in systems:
+        if system == "base":
+            result = BaselineSystem().run(
+                csr, matrix, llc_scale=csr.nrows / spec.n
+            )
+        else:
+            variant = PACK_SYSTEMS.get(system, system)
+            result = PackSystem(variant, adapter_model=model, name=system).run(
+                csr, matrix
+            )
+        rows.append(
+            {
+                "kind": kind,
+                "matrix": matrix,
+                "system": system,
+                "model": model,
+                "max_nnz": max_nnz,
+                "runtime_cycles": result.runtime_cycles,
+                "indirect_fraction": result.indirect_fraction,
+                "gflops": result.gflops,
+                "traffic_vs_ideal": result.traffic_vs_ideal,
+                "bw_utilization": result.bandwidth_utilization(),
+            }
+        )
+    return rows
+
+
+def _run_group(task: tuple[tuple, tuple[str, ...]]) -> list[dict]:
+    """One pool task: every variant of one (matrix, fmt, scale) group."""
+    group_key, variants = task
+    kind = group_key[0]
+    if kind == ADAPTER_KIND:
+        return _run_adapter_group(group_key, variants)
+    if kind == SYSTEM_KIND:
+        return _run_system_group(group_key, variants)
+    raise ExperimentError(f"unknown sweep point kind {kind!r}")
+
+
+class SweepExecutor:
+    """Run a grid of sweep points with dedup and optional fan-out.
+
+    ``workers=1`` (the default, or ``REPRO_WORKERS`` unset) runs
+    serially in-process; ``workers>1`` fans matrix groups out over a
+    process pool.  Results are identical either way.
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = workers_from_env() if workers is None else int(workers)
+        if self.workers < 1:
+            raise ExperimentError("SweepExecutor needs at least one worker")
+
+    def run(self, points: Sequence[SweepPoint]) -> list[dict]:
+        """Evaluate every point; one result row per point, input order."""
+        groups: dict[tuple, list[str]] = {}
+        for point in points:
+            variants = groups.setdefault(point.group_key, [])
+            if point.variant not in variants:
+                variants.append(point.variant)
+        tasks = [(key, tuple(variants)) for key, variants in groups.items()]
+
+        if self.workers == 1 or len(tasks) <= 1:
+            results = [_run_group(task) for task in tasks]
+        else:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                results = list(pool.map(_run_group, tasks))
+
+        by_key: dict[tuple, dict] = {}
+        for (group_key, variants), rows in zip(tasks, results):
+            for variant, row in zip(variants, rows):
+                by_key[(*group_key, variant)] = row
+        return [dict(by_key[point.row_key]) for point in points]

@@ -1,0 +1,81 @@
+"""Sweep design points and grid builders.
+
+A :class:`SweepPoint` names one cell of an experiment grid.  Two kinds
+exist:
+
+* ``adapter`` points run one adapter variant over one matrix's index
+  stream (Figs. 3/4, window ablations) — ``variant`` is an adapter
+  label such as ``"MLP256"`` and ``fmt`` selects the traversal order;
+* ``system`` points run one end-to-end SpMV system over one matrix
+  (Figs. 5a/5b/6b) — ``variant`` is a system name (``"base"``,
+  ``"pack0"``, ``"pack64"``, ``"pack256"``) and ``fmt`` is unused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ExperimentError
+from ..sparse.suite import DEFAULT_MAX_NNZ
+
+ADAPTER_KIND = "adapter"
+SYSTEM_KIND = "system"
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (matrix × variant) cell of a sweep grid."""
+
+    matrix: str
+    variant: str
+    fmt: str = "sell"
+    max_nnz: int = DEFAULT_MAX_NNZ
+    model: str = "fast"
+    kind: str = ADAPTER_KIND
+
+    def __post_init__(self) -> None:
+        if self.model not in ("fast", "cycle"):
+            raise ExperimentError(
+                f"unknown adapter model {self.model!r}; expected fast or cycle"
+            )
+        if self.kind not in (ADAPTER_KIND, SYSTEM_KIND):
+            raise ExperimentError(f"unknown sweep point kind {self.kind!r}")
+
+    @property
+    def group_key(self) -> tuple:
+        """Points sharing this key share all per-matrix analysis."""
+        return (self.kind, self.matrix, self.fmt, self.max_nnz, self.model)
+
+    @property
+    def row_key(self) -> tuple:
+        return (*self.group_key, self.variant)
+
+
+def adapter_grid(
+    matrices: tuple[str, ...],
+    variants: tuple[str, ...],
+    formats: tuple[str, ...] = ("sell",),
+    max_nnz: int = DEFAULT_MAX_NNZ,
+    model: str = "fast",
+) -> list[SweepPoint]:
+    """The full (format × matrix × variant) adapter grid, figure order."""
+    return [
+        SweepPoint(matrix, variant, fmt, max_nnz, model, ADAPTER_KIND)
+        for fmt in formats
+        for matrix in matrices
+        for variant in variants
+    ]
+
+
+def system_grid(
+    matrices: tuple[str, ...],
+    systems: tuple[str, ...],
+    max_nnz: int = DEFAULT_MAX_NNZ,
+    model: str = "fast",
+) -> list[SweepPoint]:
+    """The (matrix × system) end-to-end SpMV grid, figure order."""
+    return [
+        SweepPoint(matrix, system, "", max_nnz, model, SYSTEM_KIND)
+        for matrix in matrices
+        for system in systems
+    ]

@@ -1,18 +1,17 @@
-"""Shared experiment plumbing: env knobs, stream cache, tables."""
+"""Shared experiment plumbing: env knobs and table rendering.
+
+Grid evaluation (stream caching, per-matrix dedup, process fan-out)
+lives in :mod:`repro.engine`; every ``run_*`` experiment builds its
+grid there and only post-processes rows here.
+"""
 
 from __future__ import annotations
 
 import os
-from functools import lru_cache
 
 import numpy as np
 
-from ..axipack import fast_indirect_stream, run_indirect_stream
-from ..axipack.metrics import AdapterMetrics
-from ..axipack.streams import matrix_index_stream
-from ..config import AdapterConfig, DramConfig, variant_config
 from ..errors import ExperimentError
-from ..sparse.suite import get_matrix
 
 #: default per-matrix nonzero budget for experiment sweeps.
 DEFAULT_SCALE_NNZ = 60_000
@@ -38,25 +37,6 @@ def adapter_model_from_env(default: str = "fast") -> str:
     if model not in ("fast", "cycle"):
         raise ExperimentError(f"bad REPRO_ADAPTER_MODEL={model!r}")
     return model
-
-
-@lru_cache(maxsize=256)
-def cached_stream(name: str, fmt: str, max_nnz: int) -> np.ndarray:
-    """Suite matrix index stream, memoised across experiment runs."""
-    return matrix_index_stream(get_matrix(name, max_nnz), fmt)
-
-
-def adapter_metrics(
-    indices: np.ndarray,
-    variant: str,
-    model: str = "fast",
-    dram: DramConfig | None = None,
-) -> AdapterMetrics:
-    """Run one adapter configuration with the chosen model."""
-    config: AdapterConfig = variant_config(variant)
-    if model == "cycle":
-        return run_indirect_stream(indices, config, dram, variant=variant)
-    return fast_indirect_stream(indices, config, dram, variant=variant)
 
 
 def format_table(rows: list[dict], columns: list[str] | None = None) -> str:

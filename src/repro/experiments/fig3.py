@@ -16,13 +16,9 @@ from __future__ import annotations
 
 from ..axipack.variants import VARIANT_LABELS
 from ..config import DramConfig
+from ..engine import SweepExecutor, adapter_grid
 from ..sparse.suite import list_matrices
-from .common import (
-    adapter_metrics,
-    adapter_model_from_env,
-    cached_stream,
-    scale_from_env,
-)
+from .common import adapter_model_from_env, scale_from_env
 
 
 def run_fig3(
@@ -31,22 +27,26 @@ def run_fig3(
     matrices: tuple[str, ...] | None = None,
     max_nnz: int | None = None,
     model: str | None = None,
+    executor: SweepExecutor | None = None,
 ) -> dict:
-    """Regenerate the Fig. 3 data grid."""
+    """Regenerate the Fig. 3 data grid (batched through the engine)."""
     matrices = matrices or tuple(list_matrices())
     max_nnz = max_nnz or scale_from_env()
     model = model or adapter_model_from_env()
+    executor = executor or SweepExecutor()
     peak = DramConfig().peak_bandwidth_gbps
 
-    rows = []
-    for fmt in formats:
-        for name in matrices:
-            indices = cached_stream(name, fmt, max_nnz)
-            row = {"matrix": name, "format": fmt}
-            for variant in variants:
-                metrics = adapter_metrics(indices, variant, model)
-                row[variant] = round(metrics.indirect_bw_gbps, 2)
-            rows.append(row)
+    table = executor.run(
+        adapter_grid(matrices, variants, formats, max_nnz, model)
+    )
+    pivoted: dict[tuple[str, str], dict] = {}
+    for cell in table:  # grid order is fmt-major, then matrix, then variant
+        row = pivoted.setdefault(
+            (cell["format"], cell["matrix"]),
+            {"matrix": cell["matrix"], "format": cell["format"]},
+        )
+        row[cell["variant"]] = round(cell["indir_gbps"], 2)
+    rows = list(pivoted.values())
 
     summary = _summarise(rows, formats, peak)
     return {"rows": rows, "summary": summary}

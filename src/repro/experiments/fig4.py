@@ -18,15 +18,10 @@ Paper observations tracked by ``summary``:
 
 from __future__ import annotations
 
-from ..config import DramConfig
-from ..sparse.suite import FIG4_MATRICES
 from ..axipack.variants import FIG4_VARIANTS
-from .common import (
-    adapter_metrics,
-    adapter_model_from_env,
-    cached_stream,
-    scale_from_env,
-)
+from ..engine import SweepExecutor, adapter_grid
+from ..sparse.suite import FIG4_MATRICES
+from .common import adapter_model_from_env, scale_from_env
 
 
 def run_fig4(
@@ -35,28 +30,28 @@ def run_fig4(
     fmt: str = "sell",
     max_nnz: int | None = None,
     model: str | None = None,
+    executor: SweepExecutor | None = None,
 ) -> dict:
-    """Regenerate the Fig. 4 data grid."""
+    """Regenerate the Fig. 4 data grid (batched through the engine)."""
     max_nnz = max_nnz or scale_from_env()
     model = model or adapter_model_from_env()
-    dram = DramConfig()
+    executor = executor or SweepExecutor()
 
-    rows = []
-    for name in matrices:
-        indices = cached_stream(name, fmt, max_nnz)
-        for variant in variants:
-            metrics = adapter_metrics(indices, variant, model, dram)
-            rows.append(
-                {
-                    "matrix": name,
-                    "variant": variant,
-                    "indir_gbps": round(metrics.indirect_bw_gbps, 2),
-                    "elem_gbps": round(metrics.elem_bw_gbps, 2),
-                    "index_gbps": round(metrics.idx_bw_gbps, 2),
-                    "loss_gbps": round(metrics.loss_gbps(dram), 2),
-                    "coal_rate": round(metrics.coalesce_rate, 3),
-                }
-            )
+    table = executor.run(
+        adapter_grid(matrices, variants, (fmt,), max_nnz, model)
+    )
+    rows = [
+        {
+            "matrix": cell["matrix"],
+            "variant": cell["variant"],
+            "indir_gbps": round(cell["indir_gbps"], 2),
+            "elem_gbps": round(cell["elem_gbps"], 2),
+            "index_gbps": round(cell["index_gbps"], 2),
+            "loss_gbps": round(cell["loss_gbps"], 2),
+            "coal_rate": round(cell["coal_rate"], 3),
+        }
+        for cell in table
+    ]
 
     summary = _summarise(rows)
     return {"rows": rows, "summary": summary}

@@ -9,8 +9,9 @@ base.
 
 from __future__ import annotations
 
-from ..sparse.suite import FIG4_MATRICES, get_matrix, get_spec
-from ..vpc import BaselineSystem, PackSystem, PACK_SYSTEMS
+from ..engine import SweepExecutor, system_grid
+from ..vpc import PACK_SYSTEMS
+from ..sparse.suite import FIG4_MATRICES
 from .common import adapter_model_from_env, geomean, scale_from_env
 
 
@@ -18,25 +19,28 @@ def run_fig5a(
     matrices: tuple[str, ...] = FIG4_MATRICES,
     max_nnz: int | None = None,
     model: str | None = None,
+    executor: SweepExecutor | None = None,
 ) -> dict:
-    """Regenerate the Fig. 5a data grid."""
+    """Regenerate the Fig. 5a data grid (batched through the engine)."""
     max_nnz = max_nnz or scale_from_env()
     model = model or adapter_model_from_env()
+    executor = executor or SweepExecutor()
+
+    systems = ("base", *PACK_SYSTEMS)
+    table = executor.run(system_grid(matrices, systems, max_nnz, model))
+    base_cycles = {
+        cell["matrix"]: cell["runtime_cycles"]
+        for cell in table
+        if cell["system"] == "base"
+    }
 
     rows = []
     speedups: dict[str, list[float]] = {name: [] for name in PACK_SYSTEMS}
-    for name in matrices:
-        spec = get_spec(name)
-        matrix = get_matrix(name, max_nnz)
-        llc_scale = matrix.nrows / spec.n
-        base = BaselineSystem().run(matrix, name, llc_scale=llc_scale)
-        rows.append(_row(name, "base", base, base))
-        for system, variant in PACK_SYSTEMS.items():
-            result = PackSystem(variant, adapter_model=model, name=system).run(
-                matrix, name
-            )
-            rows.append(_row(name, system, result, base))
-            speedups[system].append(base.runtime_cycles / result.runtime_cycles)
+    for cell in table:
+        base = base_cycles[cell["matrix"]]
+        rows.append(_row(cell, base))
+        if cell["system"] in speedups:
+            speedups[cell["system"]].append(base / cell["runtime_cycles"])
 
     summary = {
         f"{system}_speedup_geomean": round(geomean(values), 2)
@@ -49,12 +53,12 @@ def run_fig5a(
     return {"rows": rows, "summary": summary}
 
 
-def _row(matrix: str, system: str, result, base) -> dict:
+def _row(cell: dict, base_cycles: float) -> dict:
     return {
-        "matrix": matrix,
-        "system": system,
-        "speedup_vs_base": round(base.runtime_cycles / result.runtime_cycles, 2),
-        "norm_runtime": round(result.runtime_cycles / base.runtime_cycles, 4),
-        "indir_fraction": round(result.indirect_fraction, 3),
-        "runtime_cycles": round(result.runtime_cycles),
+        "matrix": cell["matrix"],
+        "system": cell["system"],
+        "speedup_vs_base": round(base_cycles / cell["runtime_cycles"], 2),
+        "norm_runtime": round(cell["runtime_cycles"] / base_cycles, 4),
+        "indir_fraction": round(cell["indirect_fraction"], 3),
+        "runtime_cycles": round(cell["runtime_cycles"]),
     }

@@ -9,8 +9,9 @@ below the base system's traffic on average.
 
 from __future__ import annotations
 
-from ..sparse.suite import FIG4_MATRICES, get_matrix, get_spec
-from ..vpc import BaselineSystem, PackSystem, PACK_SYSTEMS
+from ..engine import SweepExecutor, system_grid
+from ..vpc import PACK_SYSTEMS
+from ..sparse.suite import FIG4_MATRICES
 from .common import adapter_model_from_env, scale_from_env
 
 
@@ -18,32 +19,24 @@ def run_fig5b(
     matrices: tuple[str, ...] = FIG4_MATRICES,
     max_nnz: int | None = None,
     model: str | None = None,
+    executor: SweepExecutor | None = None,
 ) -> dict:
-    """Regenerate the Fig. 5b data grid."""
+    """Regenerate the Fig. 5b data grid (batched through the engine)."""
     max_nnz = max_nnz or scale_from_env()
     model = model or adapter_model_from_env()
+    executor = executor or SweepExecutor()
 
-    rows = []
-    for name in matrices:
-        spec = get_spec(name)
-        matrix = get_matrix(name, max_nnz)
-        base = BaselineSystem().run(matrix, name, llc_scale=matrix.nrows / spec.n)
-        results = {"base": base}
-        for system, variant in PACK_SYSTEMS.items():
-            results[system] = PackSystem(
-                variant, adapter_model=model, name=system
-            ).run(matrix, name)
-        for system, result in results.items():
-            rows.append(
-                {
-                    "matrix": name,
-                    "system": system,
-                    "traffic_vs_ideal": round(result.traffic_vs_ideal, 3),
-                    "bw_utilization_pct": round(
-                        100 * result.bandwidth_utilization(), 1
-                    ),
-                }
-            )
+    systems = ("base", *PACK_SYSTEMS)
+    table = executor.run(system_grid(matrices, systems, max_nnz, model))
+    rows = [
+        {
+            "matrix": cell["matrix"],
+            "system": cell["system"],
+            "traffic_vs_ideal": round(cell["traffic_vs_ideal"], 3),
+            "bw_utilization_pct": round(100 * cell["bw_utilization"], 1),
+        }
+        for cell in table
+    ]
 
     summary = _summarise(rows)
     return {"rows": rows, "summary": summary}

@@ -10,9 +10,9 @@ on-chip efficiency while retaining 1x / 0.9x performance efficiency.
 
 from __future__ import annotations
 
+from ..engine import SweepExecutor, system_grid
 from ..hw.soa import SOA_PROCESSORS, our_processor_datum
-from ..sparse.suite import FIG6B_MATRICES, get_matrix
-from ..vpc import PackSystem
+from ..sparse.suite import FIG6B_MATRICES
 from .common import adapter_model_from_env, scale_from_env
 
 
@@ -20,16 +20,15 @@ def run_fig6b(
     matrices: tuple[str, ...] = FIG6B_MATRICES,
     max_nnz: int | None = None,
     model: str | None = None,
+    executor: SweepExecutor | None = None,
 ) -> dict:
-    """Regenerate the Fig. 6b data."""
+    """Regenerate the Fig. 6b data (batched through the engine)."""
     max_nnz = max_nnz or scale_from_env()
     model = model or adapter_model_from_env()
+    executor = executor or SweepExecutor()
 
-    per_matrix = {}
-    for name in matrices:
-        matrix = get_matrix(name, max_nnz)
-        result = PackSystem("MLP256", adapter_model=model).run(matrix, name)
-        per_matrix[name] = result.gflops
+    table = executor.run(system_grid(matrices, ("pack256",), max_nnz, model))
+    per_matrix = {cell["matrix"]: cell["gflops"] for cell in table}
     avg_gflops = sum(per_matrix.values()) / len(per_matrix)
 
     ours = our_processor_datum(avg_gflops)

@@ -1,40 +1,17 @@
-"""Shared fixtures and stream builders for the test suite."""
+"""Shared fixtures for the test suite.
+
+Stream/matrix builders live in :mod:`helpers` (``tests/helpers.py``) —
+importable without the conftest module-name ambiguity that used to
+break root-level collection.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
-from repro.sparse.coo import CooMatrix
+from helpers import small_csr
 from repro.sparse.csr import CsrMatrix
-
-
-def banded_stream(count: int, jitter: int = 20, span: int = 4, seed: int = 1) -> np.ndarray:
-    """An index stream with FEM-like locality: a slowly advancing base
-    plus bounded jitter (good coalescing within small windows)."""
-    rng = np.random.default_rng(seed)
-    base = np.arange(count) // span
-    idx = base + rng.integers(-jitter, jitter + 1, count)
-    return np.clip(idx, 0, base.max() + jitter).astype(np.uint32)
-
-
-def random_stream(count: int, ncols: int, seed: int = 2) -> np.ndarray:
-    """Uniformly random indices (worst-case locality)."""
-    rng = np.random.default_rng(seed)
-    return rng.integers(0, ncols, count, dtype=np.uint32)
-
-
-def small_csr(nrows: int = 37, ncols: int = 41, density: float = 0.15, seed: int = 3) -> CsrMatrix:
-    """A small random CSR matrix with at least one entry per row."""
-    rng = np.random.default_rng(seed)
-    rows, cols, vals = [], [], []
-    for r in range(nrows):
-        count = max(1, rng.binomial(ncols, density))
-        cs = rng.choice(ncols, size=count, replace=False)
-        rows.extend([r] * count)
-        cols.extend(cs.tolist())
-        vals.extend(rng.normal(size=count).tolist())
-    return CooMatrix(nrows, ncols, rows, cols, vals).to_csr()
 
 
 @pytest.fixture

@@ -12,7 +12,7 @@ from repro.axipack import run_indirect_stream
 from repro.axipack.adapter import build_indirect_system
 from repro.config import mlp_config, nocoalescer_config, seq_config, variant_config
 
-from conftest import banded_stream, random_stream
+from helpers import banded_stream, random_stream
 
 
 class TestFunctionalCorrectness:

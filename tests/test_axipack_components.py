@@ -9,7 +9,7 @@ from repro.axipack.cshr import Cshr, Window
 from repro.axipack.adapter import build_indirect_system
 from repro.config import mlp_config, nocoalescer_config
 
-from conftest import banded_stream
+from helpers import banded_stream
 
 
 class TestBurstDescriptors:

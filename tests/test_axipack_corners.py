@@ -14,7 +14,7 @@ from repro.config import (
 )
 from repro.errors import SimulationError
 
-from conftest import banded_stream
+from helpers import banded_stream
 
 
 def _coalescer_stats(adapter):

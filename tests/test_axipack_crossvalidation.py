@@ -1,9 +1,22 @@
 """Cycle model vs fast model cross-validation.
 
 The fast model must reproduce the cycle model's coalescing decisions
-exactly (wide element access counts) on realistic streams, and its
+exactly (wide element access counts, modulo the ±2 stream-tail
+watchdog slack documented below) on realistic streams, and its
 analytic cycle counts must stay within a modest band of the cycle
 model's (it is a max-of-bottlenecks lower-bound construction).
+
+Tolerance bands (referenced by README):
+
+* wide element accesses: exact up to ±2 — the cycle model's final
+  open warp retires through the watchdog, the fast model counts it at
+  arming time;
+* cycles: ratio within [0.7, 1.6] for windows up to 64, [0.5, 2.0] at
+  W=256 where secondary index-supply effects grow.
+
+The deep tier sweeps a real FEM suite stream (the structure class the
+paper's coalescer targets) through the slow cycle model; deselect it
+with ``-m "not slow"``.
 """
 
 import numpy as np
@@ -12,7 +25,7 @@ import pytest
 from repro.axipack import fast_indirect_stream, run_indirect_stream
 from repro.config import mlp_config, nocoalescer_config, seq_config, variant_config
 
-from conftest import banded_stream, random_stream
+from helpers import banded_stream, fem_stream, random_stream
 
 
 STREAMS = {
@@ -62,3 +75,47 @@ def test_idx_txns_identical():
             run_indirect_stream(idx, cfg).idx_txns
             == fast_indirect_stream(idx, cfg).idx_txns
         )
+
+
+class TestFemDeepTier:
+    """FEM-structured suite stream through the cycle model (slow)."""
+
+    LABELS = ["MLPnc", "MLP8", "MLP64", "MLP256", "SEQ256"]
+
+    @pytest.fixture(scope="class")
+    def fem(self):
+        return fem_stream(6000)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("label", LABELS)
+    def test_fem_elem_txns_exact(self, fem, label):
+        """Wide-access counts match up to the documented ±2 watchdog
+        tail slack (the last open warp's arming-vs-retire accounting)."""
+        cfg = variant_config(label)
+        cycle = run_indirect_stream(fem, cfg)
+        fast = fast_indirect_stream(fem, cfg)
+        assert abs(cycle.elem_txns - fast.elem_txns) <= 2
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("label", ["MLPnc", "MLP8", "MLP64", "SEQ256"])
+    def test_fem_cycles_within_band(self, fem, label):
+        cfg = variant_config(label)
+        cycle = run_indirect_stream(fem, cfg)
+        fast = fast_indirect_stream(fem, cfg)
+        assert 0.7 <= cycle.cycles / fast.cycles <= 1.6
+
+    @pytest.mark.slow
+    def test_fem_mlp256_band(self, fem):
+        cfg = mlp_config(256)
+        cycle = run_indirect_stream(fem, cfg)
+        fast = fast_indirect_stream(fem, cfg)
+        assert 0.5 <= cycle.cycles / fast.cycles <= 2.0
+
+    @pytest.mark.slow
+    def test_fem_idx_txns_identical(self, fem):
+        for label in ("MLPnc", "MLP64"):
+            cfg = variant_config(label)
+            assert (
+                run_indirect_stream(fem, cfg).idx_txns
+                == fast_indirect_stream(fem, cfg).idx_txns
+            )

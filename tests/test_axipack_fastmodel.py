@@ -10,7 +10,7 @@ from repro.axipack.fastmodel import (
 )
 from repro.config import DramConfig, mlp_config, nocoalescer_config, seq_config
 
-from conftest import banded_stream, random_stream
+from helpers import banded_stream, random_stream
 
 
 class TestWindowExactCoalescing:
@@ -106,3 +106,34 @@ class TestFastMetrics:
     def test_marks_fast_model(self):
         m = fast_indirect_stream(banded_stream(100), mlp_config(8))
         assert m.extras["model"] == 1.0
+
+
+class TestStaleAnalysisGuard:
+    def test_mismatched_analysis_is_recomputed(self):
+        """A stale analysis (wrong stream length or geometry) must be
+        ignored, not silently mixed with the new stream."""
+        from repro.axipack.fastmodel import analyze_stream
+
+        short = banded_stream(1000)
+        full = banded_stream(4000)
+        stale = analyze_stream(short, 8)
+        cfg = mlp_config(64)
+        with_stale = fast_indirect_stream(full, cfg, analysis=stale)
+        clean = fast_indirect_stream(full, cfg)
+        assert with_stale.elem_txns == clean.elem_txns
+        assert with_stale.cycles == clean.cycles
+
+
+    def test_equal_length_different_stream_is_rejected(self):
+        """The sampled content fingerprint catches a stale analysis
+        from a different stream of identical length and geometry."""
+        from repro.axipack.fastmodel import analyze_stream
+
+        a = banded_stream(4000, seed=1)
+        b = banded_stream(4000, seed=99)
+        stale = analyze_stream(a, 8)
+        cfg = mlp_config(64)
+        with_stale = fast_indirect_stream(b, cfg, analysis=stale)
+        clean = fast_indirect_stream(b, cfg)
+        assert with_stale.elem_txns == clean.elem_txns
+        assert with_stale.cycles == clean.cycles

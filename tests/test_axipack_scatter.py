@@ -7,7 +7,7 @@ from repro.axipack.scatter import fast_indirect_scatter, run_indirect_scatter
 from repro.config import mlp_config, nocoalescer_config, seq_config
 from repro.errors import SimulationError
 
-from conftest import banded_stream
+from helpers import banded_stream
 
 
 class TestFunctional:

@@ -6,7 +6,7 @@ import pytest
 from repro.axipack.streams import FORMATS, matrix_index_stream
 from repro.errors import ExperimentError
 
-from conftest import small_csr
+from helpers import small_csr
 
 
 def test_formats_are_paper_formats():

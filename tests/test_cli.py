@@ -32,3 +32,58 @@ def test_stream_command(capsys):
     assert main(["stream", "msc01440", "MLP64"]) == 0
     out = capsys.readouterr().out
     assert "indirect_bw_gbps" in out
+
+
+def test_sweep_command(capsys):
+    assert main(["sweep", "msc01440,pwtk", "MLPnc,MLP64", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "MLP64" in out
+    assert "msc01440" in out
+
+
+def test_fig4_quick_canary(capsys):
+    assert main(["fig4", "--quick"]) == 0
+    assert "coal_rate" in capsys.readouterr().out
+
+
+def test_unknown_flag_is_an_error(capsys):
+    assert main(["fig4", "--frobnicate"]) == 1
+    assert "unknown flag" in capsys.readouterr().err
+
+
+def test_workers_flag_requires_integer(capsys):
+    assert main(["fig4", "--workers", "two"]) == 1
+    assert "integer" in capsys.readouterr().err
+
+
+def test_stream_honors_model_and_nnz(capsys):
+    assert main(["stream", "msc01440", "MLP64", "--model", "cycle", "--nnz", "2000"]) == 0
+    assert "indirect_bw_gbps" in capsys.readouterr().out
+    assert main(["stream", "msc01440", "MLP64", "--workers", "2"]) == 1
+    assert "only --nnz/--model apply" in capsys.readouterr().err
+
+
+def test_paramless_experiments_reject_engine_flags(capsys):
+    assert main(["table1", "--quick"]) == 1
+    assert "no matrix grid" in capsys.readouterr().err
+    assert main(["fig6a"]) == 0
+
+
+def test_zero_workers_flag_is_an_error(capsys):
+    assert main(["fig4", "--workers", "0"]) == 1
+    assert "--workers must be >= 1" in capsys.readouterr().err
+    assert main(["fig4", "--nnz", "500"]) == 1
+    assert "--nnz must be >= 1000" in capsys.readouterr().err
+
+
+def test_suite_and_report_reject_flags(capsys):
+    assert main(["suite", "--nnz", "2000"]) == 1
+    assert "takes no flags" in capsys.readouterr().err
+    assert main(["report", "--quick"]) == 1
+    assert "env knobs" in capsys.readouterr().err
+
+
+def test_stray_positionals_are_rejected(capsys):
+    assert main(["fig6a", "garbage", "-workers", "4"]) == 1
+    assert "no positional arguments" in capsys.readouterr().err
+    assert main(["suite", "extra"]) == 1

@@ -1,0 +1,165 @@
+"""SweepExecutor: schema, dedup, determinism, experiment smoke runs.
+
+Everything here runs at tiny scale (12k nonzeros, small suite
+matrices) — the goal is pinning the engine's contract, not paper
+numbers:
+
+* result tables have a fixed schema and come back in input order;
+* per-matrix analysis is deduplicated behind the keyed cache;
+* a process pool returns bit-identical tables to serial execution;
+* every refactored experiment runs end-to-end through an explicit
+  executor.
+"""
+
+import pytest
+
+from repro.engine import (
+    ADAPTER_KIND,
+    SYSTEM_KIND,
+    AnalysisCache,
+    SweepExecutor,
+    SweepPoint,
+    adapter_grid,
+    system_grid,
+    workers_from_env,
+)
+from repro.errors import ExperimentError
+from repro.experiments import run_fig3, run_fig4, run_fig5a, run_fig5b, run_fig6b
+
+TINY = 12_000
+ADAPTER_COLUMNS = {
+    "kind", "matrix", "format", "variant", "model", "max_nnz",
+    "count", "cycles", "idx_txns", "elem_txns",
+    "indir_gbps", "elem_gbps", "index_gbps", "loss_gbps", "coal_rate",
+}
+SYSTEM_COLUMNS = {
+    "kind", "matrix", "system", "model", "max_nnz",
+    "runtime_cycles", "indirect_fraction", "gflops",
+    "traffic_vs_ideal", "bw_utilization",
+}
+
+
+class TestGrids:
+    def test_adapter_grid_order_and_shape(self):
+        points = adapter_grid(
+            ("pwtk", "hood"), ("MLPnc", "MLP64"), ("sell", "csr"), TINY
+        )
+        assert len(points) == 2 * 2 * 2
+        assert points[0] == SweepPoint("pwtk", "MLPnc", "sell", TINY)
+        # format-major, then matrix, then variant — figure order.
+        assert [p.fmt for p in points[:4]] == ["sell"] * 4
+        assert points[1].variant == "MLP64"
+
+    def test_system_grid_kind(self):
+        points = system_grid(("pwtk",), ("base", "pack256"), TINY)
+        assert all(p.kind == SYSTEM_KIND for p in points)
+
+    def test_group_key_shares_matrix_work(self):
+        a = SweepPoint("pwtk", "MLPnc", "sell", TINY)
+        b = SweepPoint("pwtk", "MLP256", "sell", TINY)
+        c = SweepPoint("pwtk", "MLPnc", "csr", TINY)
+        assert a.group_key == b.group_key != c.group_key
+
+
+class TestExecutor:
+    def test_adapter_rows_schema_and_order(self):
+        points = adapter_grid(("pwtk", "msc01440"), ("MLPnc", "MLP64"), max_nnz=TINY)
+        rows = SweepExecutor(workers=1).run(points)
+        assert len(rows) == len(points)
+        for point, row in zip(points, rows):
+            assert set(row) == ADAPTER_COLUMNS
+            assert row["kind"] == ADAPTER_KIND
+            assert (row["matrix"], row["variant"]) == (point.matrix, point.variant)
+            assert row["cycles"] > 0 and row["elem_txns"] > 0
+
+    def test_system_rows_schema(self):
+        rows = SweepExecutor(workers=1).run(
+            system_grid(("pwtk",), ("base", "pack0", "pack256"), TINY)
+        )
+        assert [set(r) for r in rows] == [SYSTEM_COLUMNS] * 3
+        assert [r["system"] for r in rows] == ["base", "pack0", "pack256"]
+
+    def test_duplicate_points_resolve_to_same_row(self):
+        point = SweepPoint("pwtk", "MLP64", "sell", TINY)
+        rows = SweepExecutor(workers=1).run([point, point])
+        assert rows[0] == rows[1]
+        assert rows[0] is not rows[1]  # caller-safe copies
+
+    def test_pool_matches_serial_bit_exactly(self):
+        points = adapter_grid(
+            ("pwtk", "msc01440", "G3_circuit"), ("MLPnc", "MLP64", "MLP256"),
+            max_nnz=TINY,
+        ) + system_grid(("pwtk",), ("base", "pack256"), TINY)
+        serial = SweepExecutor(workers=1).run(points)
+        pooled = SweepExecutor(workers=2).run(points)
+        assert serial == pooled
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ExperimentError):
+            SweepExecutor(workers=0)
+
+    def test_workers_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert workers_from_env() == 1
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert workers_from_env() == 3
+        monkeypatch.setenv("REPRO_WORKERS", "zero")
+        with pytest.raises(ExperimentError):
+            workers_from_env()
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ExperimentError):
+            workers_from_env()
+
+
+class TestAnalysisCache:
+    def test_stream_and_analysis_are_memoised(self):
+        cache = AnalysisCache()
+        s1 = cache.stream("pwtk", "sell", TINY)
+        s2 = cache.stream("pwtk", "sell", TINY)
+        assert s1 is s2
+        a1 = cache.analysis("pwtk", "sell", TINY, 8)
+        assert a1 is cache.analysis("pwtk", "sell", TINY, 8)
+        assert a1 is not cache.analysis("pwtk", "sell", TINY, 16)
+        assert a1.blocks.size == s1.size
+
+    def test_layout_stats_schema(self):
+        stats = AnalysisCache().layout_stats("msc01440", "csr", TINY)
+        assert {"nrows", "ncols", "nnz", "avg_row", "stream_len"} <= set(stats)
+        assert stats["stream_len"] == stats["nnz"]  # CSR stream = col_idx
+
+
+class TestExperimentsThroughEngine:
+    """Each refactored experiment, end-to-end, serial == pooled."""
+
+    MATRICES = ("pwtk", "msc01440")
+
+    @pytest.mark.parametrize(
+        "runner,kwargs",
+        [
+            (run_fig3, {"matrices": MATRICES, "variants": ("MLPnc", "MLP256")}),
+            (run_fig4, {"matrices": MATRICES}),
+            (run_fig5a, {"matrices": MATRICES}),
+            (run_fig5b, {"matrices": MATRICES}),
+            (run_fig6b, {"matrices": MATRICES}),
+        ],
+        ids=["fig3", "fig4", "fig5a", "fig5b", "fig6b"],
+    )
+    def test_runs_and_is_deterministic_across_executors(self, runner, kwargs):
+        serial = runner(max_nnz=TINY, executor=SweepExecutor(workers=1), **kwargs)
+        pooled = runner(max_nnz=TINY, executor=SweepExecutor(workers=2), **kwargs)
+        assert serial["rows"] == pooled["rows"]
+        assert serial["summary"] == pooled["summary"]
+        assert serial["rows"] and serial["summary"]
+
+
+class TestCacheBound:
+    def test_fifo_eviction_keeps_cache_bounded(self):
+        cache = AnalysisCache(maxsize=2)
+        first = cache.stream("pwtk", "sell", TINY)
+        cache.stream("msc01440", "sell", TINY)
+        cache.stream("G3_circuit", "sell", TINY)
+        assert len(cache._streams) == 2
+        # oldest entry was evicted; re-request rebuilds identically
+        rebuilt = cache.stream("pwtk", "sell", TINY)
+        assert rebuilt is not first
+        assert (rebuilt == first).all()

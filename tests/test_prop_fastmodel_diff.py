@@ -1,0 +1,109 @@
+"""Property-based differential tests: vectorized hot paths vs oracles.
+
+The fast model's coalescing kernel and DRAM walk were rewritten as
+NumPy segment operations; the original per-window / per-transaction
+loops are retained in :mod:`repro.axipack.reference` as oracles.  The
+vectorized implementations must be *bit-exact* against them — same
+wide-access counts, same warp tags in the same issue order, same cycle
+estimates — on arbitrary block streams and window sizes.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.axipack.fastmodel import (
+    analyze_stream,
+    block_sort_order,
+    coalesce_window_exact,
+    estimate_dram_cycles,
+)
+from repro.axipack.reference import (
+    coalesce_window_reference,
+    estimate_dram_cycles_reference,
+)
+from repro.config import DramConfig
+
+
+@st.composite
+def block_streams(draw):
+    """Block-id streams spanning the shapes sweeps actually produce:
+    dense reuse, wandering locality, constants, and sparse far ids."""
+    count = draw(st.integers(min_value=0, max_value=500))
+    kind = draw(st.sampled_from(["dense", "walk", "constant", "sparse"]))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    if kind == "dense":
+        blocks = rng.integers(0, draw(st.integers(1, 30)), count)
+    elif kind == "walk":
+        blocks = np.cumsum(rng.integers(-2, 3, count)) + 50
+    elif kind == "constant":
+        blocks = np.full(count, rng.integers(0, 100))
+    else:
+        blocks = rng.integers(0, 1 << 40, count)
+    return blocks.astype(np.int64)
+
+
+windows = st.integers(min_value=1, max_value=300)
+
+
+class TestCoalescerDifferential:
+    @given(blocks=block_streams(), window=windows)
+    @settings(max_examples=300, deadline=None)
+    def test_bit_exact_vs_reference(self, blocks, window):
+        """Wide-access count AND warp-tag issue order match the oracle
+        exactly — no tolerance."""
+        count_vec, tags_vec = coalesce_window_exact(blocks, window)
+        count_ref, tags_ref = coalesce_window_reference(blocks, window)
+        assert count_vec == count_ref
+        assert np.array_equal(tags_vec, tags_ref)
+
+    @given(blocks=block_streams(), window=windows)
+    @settings(max_examples=100, deadline=None)
+    def test_precomputed_order_is_equivalent(self, blocks, window):
+        """Passing the cached by-value sort (the sweep path) changes
+        nothing versus computing it in-call."""
+        order = block_sort_order(blocks) if blocks.size else None
+        count_a, tags_a = coalesce_window_exact(blocks, window, order)
+        count_b, tags_b = coalesce_window_exact(blocks, window)
+        assert count_a == count_b
+        assert np.array_equal(tags_a, tags_b)
+
+    @given(blocks=block_streams(), window=windows)
+    @settings(max_examples=100, deadline=None)
+    def test_tag_multiset_is_subset_of_windows(self, blocks, window):
+        """Sanity invariants independent of the oracle: never more
+        warps than requests, never fewer than distinct blocks."""
+        count, tags = coalesce_window_exact(blocks, window)
+        assert count == len(tags) <= blocks.size
+        if blocks.size:
+            assert count >= len(np.unique(blocks)) - 1  # carry may hide one
+            assert set(tags.tolist()) <= set(blocks.tolist())
+
+    @given(blocks=block_streams())
+    @settings(max_examples=50, deadline=None)
+    def test_analyze_stream_geometry(self, blocks):
+        """analyze_stream derives blocks/order consistently."""
+        analysis = analyze_stream(blocks * 8, 8)
+        assert np.array_equal(analysis.blocks, blocks)
+        assert np.array_equal(analysis.order, block_sort_order(blocks))
+
+
+class TestDramWalkDifferential:
+    @given(blocks=block_streams())
+    @settings(max_examples=200, deadline=None)
+    def test_cycles_and_stats_match_reference(self, blocks):
+        dram = DramConfig()
+        cycles_vec, stats_vec = estimate_dram_cycles(blocks, dram)
+        cycles_ref, stats_ref = estimate_dram_cycles_reference(blocks, dram)
+        assert cycles_vec == cycles_ref
+        assert stats_vec == stats_ref
+
+    @given(blocks=block_streams())
+    @settings(max_examples=50, deadline=None)
+    def test_no_refresh_config_matches_too(self, blocks):
+        dram = DramConfig(t_refi=0, t_rfc=0)
+        assert estimate_dram_cycles(blocks, dram) == (
+            estimate_dram_cycles_reference(blocks, dram)
+        )

@@ -8,7 +8,7 @@ from repro.sparse.coo import CooMatrix
 from repro.sparse.csr import CsrMatrix
 from repro.sparse.sell import SellMatrix
 
-from conftest import small_csr
+from helpers import small_csr
 
 
 class TestCoo:

@@ -5,7 +5,7 @@ import numpy as np
 from repro.mem.backing_store import BackingStore
 from repro.sparse.layout import layout_csr, layout_sell
 
-from conftest import small_csr
+from helpers import small_csr
 
 
 def test_csr_layout_addresses_and_sizes():

@@ -8,7 +8,7 @@ import pytest
 from repro.errors import SparseFormatError
 from repro.sparse.mmio import read_matrix_market, write_matrix_market
 
-from conftest import small_csr
+from helpers import small_csr
 
 
 def test_write_read_roundtrip(tmp_path):

@@ -5,7 +5,7 @@ import numpy as np
 from repro.sparse.spmv import spmv_csr, spmv_csr_scalar, spmv_flops, spmv_sell
 from repro.sparse.suite import get_matrix
 
-from conftest import small_csr
+from helpers import small_csr
 
 
 def test_scalar_matches_vectorised():

@@ -11,7 +11,7 @@ from repro.vpc.ara import AraTimingModel
 from repro.vpc.baseline import scaled_llc_bytes
 from repro.vpc.prefetcher import plan_tiles
 
-from conftest import small_csr
+from helpers import small_csr
 
 
 MAX_NNZ = 120_000
