@@ -7,8 +7,11 @@ shadow ``tests/conftest.py`` under the bare ``conftest`` import name
 Every paper table/figure has one benchmark module.  Each benchmark runs
 the corresponding experiment once per round (the experiments are
 deterministic), records the headline numbers in ``extra_info`` so they
-appear in pytest-benchmark's report, and writes the full paper-style
-table to ``results/<name>.txt``.
+appear in pytest-benchmark's report, and persists the full table
+through the result store (:mod:`repro.report.store`) into
+``results/full/<name>.csv`` + ``<name>.summary.json`` — the same
+schema the committed quick-scale store under ``results/store/`` uses,
+so full-scale and canary tables diff cleanly against each other.
 
 Knobs: ``REPRO_SCALE_NNZ`` (default 60000) and ``REPRO_ADAPTER_MODEL``
 (``fast``/``cycle``) as in :mod:`repro.experiments`.
@@ -18,18 +21,18 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.experiments.common import format_table
+from repro.report.store import ResultStore
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
+#: Full-scale store the benchmarks write into (gitignored; the
+#: committed reference is the quick-scale ``results/store/``).
+STORE = ResultStore(RESULTS_DIR / "full")
+
 
 def record(benchmark, name: str, result: dict) -> None:
-    """Attach summary to the benchmark and persist the full table."""
+    """Attach summary to the benchmark and persist table + summary."""
     for key, value in result["summary"].items():
         benchmark.extra_info[key] = value
-    RESULTS_DIR.mkdir(exist_ok=True)
-    table = format_table(result["rows"])
-    summary = "\n".join(f"{k} = {v}" for k, v in result["summary"].items())
-    (RESULTS_DIR / f"{name}.txt").write_text(
-        f"# {name}\n\n{table}\n\nsummary:\n{summary}\n"
-    )
+    STORE.write_table(name, result["rows"])
+    STORE.write_summary(name, result["summary"])

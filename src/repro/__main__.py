@@ -3,54 +3,53 @@
 ::
 
     python -m repro suite                 # list the 20-matrix suite
-    python -m repro report                # regenerate all experiments
+    python -m repro report run --quick    # run experiments, write the
+                                          #   result store + EXPERIMENTS.md
+    python -m repro report render         # rewrite EXPERIMENTS.md from
+                                          #   the store alone (no runs)
+    python -m repro report check          # re-run the committed config,
+                                          #   exit 1 on any drift
     python -m repro fig3|fig4|fig5a|...   # one experiment's table
     python -m repro stream pwtk MLP256    # one adapter run
     python -m repro sweep pwtk,hood MLP64,MLP256   # ad-hoc engine sweep
 
-Experiment and sweep commands accept engine flags:
+Experiment, sweep and report commands accept engine flags:
 
 ``--workers N``   fan the grid out over N worker processes
 ``--nnz N``       per-matrix nonzero budget (overrides REPRO_SCALE_NNZ)
 ``--model M``     adapter timing model, ``fast`` or ``cycle``
 ``--quick``       tiny canary run (3 small matrices, 12k nonzeros)
+
+``report`` additionally accepts:
+
+``--store DIR``   result-store directory (default ``results/store``
+                  for --quick/render/check, ``results/full`` otherwise)
+``--out PATH``    document to write (default ``EXPERIMENTS.md`` for
+                  --quick/render/check, ``results/full/EXPERIMENTS.md``)
+``--check``       flag form of the ``check`` subcommand
+
+Bare ``report`` means ``report run``.  Environment knobs
+``REPRO_SCALE_NNZ``, ``REPRO_ADAPTER_MODEL`` and ``REPRO_WORKERS``
+supply defaults wherever the matching flag is omitted.
 """
 
 from __future__ import annotations
 
 import sys
 from dataclasses import dataclass
+from pathlib import Path
 
 from .engine import SweepExecutor, adapter_grid
 from .errors import ReproError
-from .experiments import (
-    format_table,
-    run_fig3,
-    run_fig4,
-    run_fig5a,
-    run_fig5b,
-    run_fig6a,
-    run_fig6b,
-    run_table1,
-)
-from .experiments.report import run_all
+from .experiments import format_table
+from .experiments.common import QUICK_MATRICES, QUICK_NNZ
 
-_RUNNERS = {
-    "table1": run_table1,
-    "fig3": run_fig3,
-    "fig4": run_fig4,
-    "fig5a": run_fig5a,
-    "fig5b": run_fig5b,
-    "fig6a": run_fig6a,
-    "fig6b": run_fig6b,
-}
+# The single experiment registry (and its no-grid subset) lives next
+# to the report orchestration so `fig7` is only ever added once.
+from .report.runner import PARAMLESS as _PARAMLESS
+from .report.runner import RUNNERS as _RUNNERS
 
-#: runners without a matrix grid (no engine flags apply).
-_PARAMLESS = ("table1", "fig6a")
-
-#: small, fast suite members for ``--quick`` canary runs.
-QUICK_MATRICES = ("pwtk", "G3_circuit", "msc01440")
-QUICK_NNZ = 12_000
+_REPORT_MODES = ("run", "render", "check")
 
 
 @dataclass
@@ -59,6 +58,9 @@ class _Options:
     nnz: int | None = None
     model: str | None = None
     quick: bool = False
+    check: bool = False
+    store: str | None = None
+    out: str | None = None
 
 
 def _parse_flags(args: list[str]) -> tuple[list[str], _Options]:
@@ -69,13 +71,15 @@ def _parse_flags(args: list[str]) -> tuple[list[str], _Options]:
     for arg in it:
         if arg == "--quick":
             opts.quick = True
-        elif arg in ("--workers", "--nnz", "--model"):
+        elif arg == "--check":
+            opts.check = True
+        elif arg in ("--workers", "--nnz", "--model", "--store", "--out"):
             try:
                 value = next(it)
             except StopIteration:
                 raise ReproError(f"{arg} needs a value") from None
-            if arg == "--model":
-                opts.model = value
+            if arg in ("--model", "--store", "--out"):
+                setattr(opts, arg[2:], value)
             else:
                 try:
                     setattr(opts, arg[2:], int(value))
@@ -89,7 +93,17 @@ def _parse_flags(args: list[str]) -> tuple[list[str], _Options]:
         raise ReproError("--workers must be >= 1")
     if opts.nnz is not None and opts.nnz < 1000:
         raise ReproError("--nnz must be >= 1000")
+    if opts.model not in (None, "fast", "cycle"):
+        raise ReproError(f"unknown adapter model {opts.model!r}")
     return positional, opts
+
+
+def _reject_report_flags(command: str, opts: _Options) -> None:
+    if opts.check or opts.store or opts.out:
+        raise ReproError(
+            f"{command} does not accept --check/--store/--out; "
+            "they belong to the report command"
+        )
 
 
 def _experiment_kwargs(name: str, opts: _Options) -> dict:
@@ -99,6 +113,7 @@ def _experiment_kwargs(name: str, opts: _Options) -> dict:
                 f"{name} has no matrix grid; engine flags do not apply"
             )
         return {}
+    _reject_report_flags(name, opts)
     kwargs: dict = {}
     if opts.workers:
         kwargs["executor"] = SweepExecutor(opts.workers)
@@ -119,8 +134,69 @@ def _cmd_suite() -> int:
     return 0
 
 
-def _cmd_report() -> int:
-    run_all()
+def _report_paths(mode: str, opts: _Options) -> tuple[Path, Path]:
+    """Store/document locations for one report invocation.
+
+    ``render``/``check`` and *canonical* quick runs (``--quick`` with
+    no ``--nnz``/``--model`` override) target the committed pair
+    (``results/store`` + ``EXPERIMENTS.md``); every other run defaults
+    to the uncommitted ``results/full`` so it can never make the
+    committed quick-scale reference drift by accident.
+    """
+    from .report import (
+        DEFAULT_DOC_PATH,
+        DEFAULT_STORE_DIR,
+        FULL_DOC_PATH,
+        FULL_STORE_DIR,
+    )
+
+    canonical_quick = opts.quick and opts.nnz is None and opts.model is None
+    committed = mode in ("render", "check") or canonical_quick
+    store = Path(opts.store) if opts.store else (
+        DEFAULT_STORE_DIR if committed else FULL_STORE_DIR
+    )
+    if opts.out:
+        out = Path(opts.out)
+    elif opts.store:
+        # An explicit non-default store must never default its document
+        # onto the committed EXPERIMENTS.md; keep the pair together.
+        out = store / "EXPERIMENTS.md"
+    else:
+        out = DEFAULT_DOC_PATH if committed else FULL_DOC_PATH
+    return store, out
+
+
+def _cmd_report(args: list[str], opts: _Options) -> int:
+    from .report import check_report, render_report, run_report
+
+    if len(args) > 1 or (args and args[0] not in _REPORT_MODES):
+        raise ReproError(
+            f"report takes one of {'/'.join(_REPORT_MODES)}, got {args}"
+        )
+    mode = args[0] if args else "run"
+    if opts.check:
+        if mode == "render":
+            raise ReproError("--check does not combine with report render")
+        mode = "check"
+
+    store, out = _report_paths(mode, opts)
+    if mode == "render":
+        if opts != _Options(store=opts.store, out=opts.out):
+            raise ReproError(
+                "report render rewrites the document from the store alone; "
+                "only --store/--out apply"
+            )
+        render_report(store, out)
+        return 0
+    kwargs = dict(
+        quick=opts.quick,
+        max_nnz=opts.nnz,
+        model=opts.model,
+        workers=opts.workers,
+    )
+    if mode == "check":
+        return 1 if check_report(store, out, **kwargs) else 0
+    run_report(store, out, **kwargs)
     return 0
 
 
@@ -140,10 +216,9 @@ def _cmd_stream(matrix: str, variant: str, opts: _Options) -> int:
     from .sparse import get_matrix
     from .sparse.suite import DEFAULT_MAX_NNZ
 
+    _reject_report_flags("stream", opts)
     if opts.workers or opts.quick:
         raise ReproError("stream runs one point; only --nnz/--model apply")
-    if opts.model not in (None, "fast", "cycle"):
-        raise ReproError(f"unknown adapter model {opts.model!r}")
     indices = matrix_index_stream(
         get_matrix(matrix, opts.nnz or DEFAULT_MAX_NNZ), "sell"
     )
@@ -158,6 +233,7 @@ def _cmd_sweep(matrices: str, variants: str, opts: _Options) -> int:
     """Ad-hoc adapter sweep straight through the engine."""
     from .sparse.suite import DEFAULT_MAX_NNZ
 
+    _reject_report_flags("sweep", opts)
     executor = SweepExecutor(opts.workers) if opts.workers else SweepExecutor()
     points = adapter_grid(
         tuple(matrices.split(",")),
@@ -185,10 +261,13 @@ def main(argv: list[str] | None = None) -> int:
     if not argv:
         print(__doc__)
         return 2
+    if argv[0] in ("--help", "-h", "help"):
+        print(__doc__)
+        return 0
     command, *rest = argv
     try:
         args, opts = _parse_flags(rest)
-        if command in ("suite", "report", *_RUNNERS) and args:
+        if command in ("suite", *_RUNNERS) and args:
             # Catches stray positionals and single-dash typos such as
             # `fig4 -workers 4`, which would otherwise run the default
             # configuration while looking like a flagged invocation.
@@ -198,12 +277,7 @@ def main(argv: list[str] | None = None) -> int:
                 raise ReproError("suite takes no flags")
             return _cmd_suite()
         if command == "report":
-            if opts != _Options():
-                raise ReproError(
-                    "report is driven by env knobs (REPRO_SCALE_NNZ, "
-                    "REPRO_ADAPTER_MODEL, REPRO_WORKERS); flags do not apply"
-                )
-            return _cmd_report()
+            return _cmd_report(args, opts)
         if command in _RUNNERS:
             return _cmd_experiment(command, opts)
         if command == "stream" and len(args) == 2:

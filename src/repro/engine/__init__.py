@@ -12,8 +12,15 @@ and the stream's block-id analysis.  This package factors that into
   fans groups out over a ``concurrent.futures`` process pool, and
   returns a tidy result table (one dict per point, input order).
 
-Every experiment runner and benchmark goes through this engine; it is
-the substrate future scaling work (sharding, multi-backend) plugs into.
+Every experiment runner and benchmark goes through this engine, and
+:mod:`repro.report` persists the resulting tables; it is the substrate
+future scaling work (sharding, multi-backend) plugs into.  Quick tour::
+
+    >>> from repro.engine import SweepExecutor, adapter_grid
+    >>> rows = SweepExecutor().run(
+    ...     adapter_grid(("pwtk",), ("MLP256",), max_nnz=12_000))
+    >>> rows[0]["variant"], rows[0]["cycles"] > 0
+    ('MLP256', True)
 """
 
 from .cache import AnalysisCache

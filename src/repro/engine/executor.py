@@ -37,7 +37,17 @@ _PROCESS_CACHE = AnalysisCache()
 
 
 def workers_from_env(default: int = 1) -> int:
-    """Worker-count knob from ``REPRO_WORKERS`` (1 = serial)."""
+    """Worker-count knob from ``REPRO_WORKERS`` (1 = serial).
+
+    ::
+
+        $ REPRO_WORKERS=4 python -m repro fig3    # pooled sweep
+        >>> workers_from_env()                    # REPRO_WORKERS unset
+        1
+
+    Raises :class:`~repro.errors.ExperimentError` on a non-integer or
+    non-positive value rather than silently running serial.
+    """
     raw = os.environ.get("REPRO_WORKERS", "")
     if not raw:
         return default
@@ -145,6 +155,15 @@ class SweepExecutor:
     ``workers=1`` (the default, or ``REPRO_WORKERS`` unset) runs
     serially in-process; ``workers>1`` fans matrix groups out over a
     process pool.  Results are identical either way.
+
+    Example — the README's two-matrix adapter sweep::
+
+        >>> from repro.engine import SweepExecutor, adapter_grid
+        >>> points = adapter_grid(("pwtk", "hood"), ("MLPnc", "MLP256"),
+        ...                       max_nnz=12_000)
+        >>> rows = SweepExecutor(workers=2).run(points)
+        >>> [round(r["indir_gbps"], 1) for r in rows[:2]]   # pwtk cells
+        [3.5, 27.9]
     """
 
     def __init__(self, workers: int | None = None) -> None:
@@ -153,7 +172,19 @@ class SweepExecutor:
             raise ExperimentError("SweepExecutor needs at least one worker")
 
     def run(self, points: Sequence[SweepPoint]) -> list[dict]:
-        """Evaluate every point; one result row per point, input order."""
+        """Evaluate every point; one result row per point, input order.
+
+        Fan-out semantics: points are bucketed by
+        :attr:`~repro.engine.points.SweepPoint.group_key` (duplicate
+        variants within a group are evaluated once), each group becomes
+        one task — serial in-process, or one
+        ``ProcessPoolExecutor.map`` task per group when ``workers>1`` —
+        and finished rows are reassembled by
+        :attr:`~repro.engine.points.SweepPoint.row_key` so the output
+        table always matches the input order, including points that
+        repeat the same cell.  Row dicts are per-point copies; mutating
+        one never aliases another.
+        """
         groups: dict[tuple, list[str]] = {}
         for point in points:
             variants = groups.setdefault(point.group_key, [])

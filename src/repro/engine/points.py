@@ -24,7 +24,21 @@ SYSTEM_KIND = "system"
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One (matrix × variant) cell of a sweep grid."""
+    """One (matrix × variant) cell of a sweep grid.
+
+    Example — the pwtk/MLP256 cell of a fast-model adapter sweep::
+
+        >>> SweepPoint("pwtk", "MLP256", fmt="sell", max_nnz=12_000)
+        SweepPoint(matrix='pwtk', variant='MLP256', fmt='sell',
+                   max_nnz=12000, model='fast', kind='adapter')
+
+    ``kind`` is the executor's dispatch seam: ``"adapter"`` points run
+    one adapter variant over the matrix's index stream, ``"system"``
+    points run one end-to-end SpMV system.  New backends (multi-channel
+    DRAM sweeps, scatter grids, strided streams) plug in by adding a
+    kind here and a matching group runner in
+    :mod:`repro.engine.executor` — see ARCHITECTURE.md.
+    """
 
     matrix: str
     variant: str
@@ -43,11 +57,25 @@ class SweepPoint:
 
     @property
     def group_key(self) -> tuple:
-        """Points sharing this key share all per-matrix analysis."""
+        """Points sharing this key share all per-matrix analysis.
+
+        The executor runs one pool task per distinct group key, so the
+        key deliberately excludes ``variant``: every variant of one
+        (kind, matrix, fmt, scale, model) combination reuses the same
+        cached stream/analysis.
+
+        >>> SweepPoint("pwtk", "MLP256").group_key
+        ('adapter', 'pwtk', 'sell', 60000, 'fast')
+        """
         return (self.kind, self.matrix, self.fmt, self.max_nnz, self.model)
 
     @property
     def row_key(self) -> tuple:
+        """``group_key`` plus the variant — unique per result row.
+
+        The executor reassembles pooled results into input order by
+        looking each point's ``row_key`` up in the finished groups.
+        """
         return (*self.group_key, self.variant)
 
 
@@ -58,7 +86,16 @@ def adapter_grid(
     max_nnz: int = DEFAULT_MAX_NNZ,
     model: str = "fast",
 ) -> list[SweepPoint]:
-    """The full (format × matrix × variant) adapter grid, figure order."""
+    """The full (format × matrix × variant) adapter grid, figure order.
+
+    Format-major, then matrix, then variant — the iteration order the
+    figures tabulate in, preserved by the executor's result table::
+
+        >>> points = adapter_grid(("pwtk", "hood"), ("MLPnc", "MLP256"))
+        >>> [(p.matrix, p.variant) for p in points]
+        [('pwtk', 'MLPnc'), ('pwtk', 'MLP256'),
+         ('hood', 'MLPnc'), ('hood', 'MLP256')]
+    """
     return [
         SweepPoint(matrix, variant, fmt, max_nnz, model, ADAPTER_KIND)
         for fmt in formats
@@ -73,7 +110,14 @@ def system_grid(
     max_nnz: int = DEFAULT_MAX_NNZ,
     model: str = "fast",
 ) -> list[SweepPoint]:
-    """The (matrix × system) end-to-end SpMV grid, figure order."""
+    """The (matrix × system) end-to-end SpMV grid, figure order.
+
+    ``systems`` mixes the baseline and pack systems freely::
+
+        >>> points = system_grid(("pwtk",), ("base", "pack256"))
+        >>> [(p.variant, p.kind) for p in points]
+        [('base', 'system'), ('pack256', 'system')]
+    """
     return [
         SweepPoint(matrix, system, "", max_nnz, model, SYSTEM_KIND)
         for matrix in matrices

@@ -1,13 +1,14 @@
 """Experiment runners: one module per paper table/figure.
 
 Each ``run_*`` function returns plain row dictionaries (ready for
-tabular printing or JSON) and a ``summary`` with the headline numbers
-the paper reports, so EXPERIMENTS.md can track paper-vs-measured.
+tabular printing, JSON, or the result store) and a ``summary`` with
+the headline numbers the paper reports; :mod:`repro.report` persists
+both and regenerates EXPERIMENTS.md from them.
 
 Environment knobs (all optional):
 
-* ``REPRO_SCALE_NNZ`` — nonzero budget per suite matrix (default 60000;
-  the shipped EXPERIMENTS.md numbers use 250000).
+* ``REPRO_SCALE_NNZ`` — nonzero budget per suite matrix (default
+  60000; the committed EXPERIMENTS.md is the 12000-nnz quick canary).
 * ``REPRO_ADAPTER_MODEL`` — ``fast`` (default) or ``cycle`` for the
   adapter timing model used by the sweeps.
 """

@@ -16,6 +16,11 @@ from ..errors import ExperimentError
 #: default per-matrix nonzero budget for experiment sweeps.
 DEFAULT_SCALE_NNZ = 60_000
 
+#: small, fast suite members for ``--quick`` canary runs (the CLI, the
+#: committed quick-scale report store, and CI all use this trio).
+QUICK_MATRICES = ("pwtk", "G3_circuit", "msc01440")
+QUICK_NNZ = 12_000
+
 
 def scale_from_env(default: int = DEFAULT_SCALE_NNZ) -> int:
     """Nonzero budget from ``REPRO_SCALE_NNZ``."""

@@ -1,9 +1,22 @@
-"""Regenerate the full paper-vs-measured report (EXPERIMENTS.md body).
+"""Compatibility shim over :mod:`repro.report`.
 
-Run as a module::
+The report grew from a print-only script into the persistent result
+store + diffable EXPERIMENTS.md subsystem in :mod:`repro.report`; this
+module keeps the historic import surface alive:
 
-    python -m repro.experiments.report            # default scale
-    REPRO_SCALE_NNZ=250000 python -m repro.experiments.report
+* :data:`PAPER_CLAIMS` — now tuples of :class:`repro.report.claims.
+  PaperClaim`; as ``NamedTuple`` they still unpack as the historic
+  ``(experiment, metric, paper)`` triple prefix.
+* :func:`paper_comparison` — now returns full verdict rows (the old
+  ``experiment``/``metric``/``paper``/``measured`` keys are a subset).
+* :func:`run_all` — run every experiment and print paper-style tables
+  to a stream, without touching the store (use
+  :func:`repro.report.run_report` to persist).
+
+Run as a module it behaves like ``python -m repro report run`` (a
+full-scale run into the uncommitted ``results/full/``)::
+
+    python -m repro.experiments.report
 """
 
 from __future__ import annotations
@@ -11,68 +24,26 @@ from __future__ import annotations
 import sys
 import time
 
+from ..report.claims import PAPER_CLAIMS, claim_verdicts, paper_comparison
+from ..report.render import EXPERIMENT_ORDER
+from ..report.runner import RUNNERS, run_report
 from .common import adapter_model_from_env, format_table, scale_from_env
-from .fig3 import run_fig3
-from .fig4 import run_fig4
-from .fig5a import run_fig5a
-from .fig5b import run_fig5b
-from .fig6a import run_fig6a
-from .fig6b import run_fig6b
-from .table1 import run_table1
 
-#: (experiment, metric key, paper value) triples tracked in the report.
-PAPER_CLAIMS: list[tuple[str, str, float]] = [
-    ("fig3", "sell_mlpnc_mean_gbps", 2.9),
-    ("fig3", "sell_mlp256_boost", 8.4),
-    ("fig3", "csr_mlp256_boost", 8.6),
-    ("fig3", "sell_above_70pct_peak", 12),
-    ("fig3", "sell_seq256_boost_vs_nc", 2.9),
-    ("fig3", "sell_mlp256_vs_seq256", 3.0),
-    ("fig4", "af_shell10_mlp256_index_gbps", 13.2),
-    ("fig4", "af_shell10_mlp256_reqs_per_cycle", 3.3),
-    ("fig4", "seq256_mean_index_gbps", 4.0),
-    ("fig5a", "pack0_speedup_geomean", 2.7),
-    ("fig5a", "pack256_speedup_geomean", 10.0),
-    ("fig5a", "pack256_vs_pack0", 3.0),
-    ("fig5b", "base_util_min_pct", 5.9),
-    ("fig5b", "pack0_util_mean_pct", 65.8),
-    ("fig5b", "pack0_traffic_vs_ideal_mean", 5.6),
-    ("fig5b", "pack256_traffic_vs_ideal_mean", 1.29),
-    ("fig5b", "pack256_util_mean_pct", 61.0),
-    ("fig6a", "coal_kge_w64", 307),
-    ("fig6a", "coal_kge_w128", 617),
-    ("fig6a", "coal_kge_w256", 1035),
-    ("fig6a", "area_mm2_w64", 0.19),
-    ("fig6a", "area_mm2_w256", 0.34),
-    ("fig6b", "onchip_eff_vs_sx_aurora", 1.4),
-    ("fig6b", "onchip_eff_vs_a64fx", 2.6),
-    ("fig6b", "perf_eff_vs_sx_aurora", 1.0),
-    ("fig6b", "perf_eff_vs_a64fx", 0.9),
-    ("table1", "storage_kib", 27.0),
-]
+__all__ = ["PAPER_CLAIMS", "claim_verdicts", "paper_comparison", "run_all"]
 
 
 def run_all(stream=sys.stdout) -> dict[str, dict]:
-    """Run every experiment and print paper-style tables."""
+    """Run every experiment and print paper-style tables (no store)."""
     started = time.time()
-    results = {}
-    runners = {
-        "table1": run_table1,
-        "fig3": run_fig3,
-        "fig4": run_fig4,
-        "fig5a": run_fig5a,
-        "fig5b": run_fig5b,
-        "fig6a": run_fig6a,
-        "fig6b": run_fig6b,
-    }
+    results: dict[str, dict] = {}
     print(
         f"# repro experiment report (scale={scale_from_env()}, "
         f"adapter model={adapter_model_from_env()})",
         file=stream,
     )
-    for name, runner in runners.items():
+    for name in EXPERIMENT_ORDER:
         t0 = time.time()
-        result = runner()
+        result = RUNNERS[name]()
         results[name] = result
         print(f"\n## {name}  [{time.time() - t0:.1f}s]\n", file=stream)
         print(format_table(result["rows"]), file=stream)
@@ -81,28 +52,14 @@ def run_all(stream=sys.stdout) -> dict[str, dict]:
             print(f"  {key} = {value}", file=stream)
 
     print("\n## paper vs measured\n", file=stream)
-    comparison = paper_comparison(results)
-    print(format_table(comparison), file=stream)
+    print(format_table(paper_comparison(results)), file=stream)
     print(f"\ntotal time: {time.time() - started:.1f}s", file=stream)
     return results
 
 
-def paper_comparison(results: dict[str, dict]) -> list[dict]:
-    """Rows of (claim, paper value, measured value)."""
-    rows = []
-    for experiment, key, paper_value in PAPER_CLAIMS:
-        summary = results.get(experiment, {}).get("summary", {})
-        measured = summary.get(key, "n/a")
-        rows.append(
-            {
-                "experiment": experiment,
-                "metric": key,
-                "paper": paper_value,
-                "measured": measured,
-            }
-        )
-    return rows
-
-
 if __name__ == "__main__":
-    run_all()
+    # Mirror `python -m repro report run`: a non-quick run must target
+    # results/full/, never the committed quick-scale reference.
+    from ..report.runner import FULL_DOC_PATH, FULL_STORE_DIR
+
+    run_report(FULL_STORE_DIR, FULL_DOC_PATH)

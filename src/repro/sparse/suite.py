@@ -105,6 +105,10 @@ _BY_NAME = {spec.name: spec for spec in PAPER_SUITE}
 #: Default nonzero budget for scaled instantiation (laptop-friendly).
 DEFAULT_MAX_NNZ = 60_000
 
+#: Generator seed behind every suite matrix; recorded in the report
+#: store's run manifest so stored tables name their full provenance.
+SUITE_SEED = 2024
+
 
 def list_matrices() -> list[str]:
     """Names of the twenty suite matrices, in Fig. 3 order."""
@@ -145,7 +149,7 @@ def _build(spec: MatrixSpec, n: int, seed: int) -> CsrMatrix:
 def get_matrix(
     name: str,
     max_nnz: int = DEFAULT_MAX_NNZ,
-    seed: int = 2024,
+    seed: int = SUITE_SEED,
 ) -> CsrMatrix:
     """Instantiate a suite matrix, scaled to at most ``max_nnz``
     nonzeros (pass a large budget for full published size)."""

@@ -76,11 +76,76 @@ def test_zero_workers_flag_is_an_error(capsys):
     assert "--nnz must be >= 1000" in capsys.readouterr().err
 
 
-def test_suite_and_report_reject_flags(capsys):
+def test_suite_rejects_flags(capsys):
     assert main(["suite", "--nnz", "2000"]) == 1
     assert "takes no flags" in capsys.readouterr().err
-    assert main(["report", "--quick"]) == 1
-    assert "env knobs" in capsys.readouterr().err
+
+
+def test_help_flag(capsys):
+    assert main(["--help"]) == 0
+    out = capsys.readouterr().out
+    assert "report run --quick" in out
+    assert "--store DIR" in out
+
+
+def test_report_rejects_unknown_subcommand(capsys):
+    assert main(["report", "frobnicate"]) == 1
+    assert "run/render/check" in capsys.readouterr().err
+
+
+def test_report_render_rejects_engine_flags(capsys):
+    assert main(["report", "render", "--workers", "2"]) == 1
+    assert "store alone" in capsys.readouterr().err
+    assert main(["report", "render", "--check"]) == 1
+    assert "does not combine" in capsys.readouterr().err
+
+
+def test_report_flag_validation_matches_sweep(capsys):
+    assert main(["report", "--nnz", "500"]) == 1
+    assert "--nnz must be >= 1000" in capsys.readouterr().err
+    assert main(["report", "--workers", "0"]) == 1
+    assert "--workers must be >= 1" in capsys.readouterr().err
+    assert main(["report", "--model", "rtl"]) == 1
+    assert "unknown adapter model" in capsys.readouterr().err
+
+
+def test_experiments_reject_report_flags(capsys):
+    assert main(["fig4", "--store", "somewhere"]) == 1
+    assert "belong to the report command" in capsys.readouterr().err
+
+
+def test_report_run_render_check_round_trip(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    doc = str(tmp_path / "EXPERIMENTS.md")
+    args = ["--store", store, "--out", doc]
+    assert main(["report", "run", "--quick", *args]) == 0
+    out = capsys.readouterr().out
+    assert "claims + manifest" in out
+
+    before = (tmp_path / "EXPERIMENTS.md").read_bytes()
+    assert main(["report", "render", *args]) == 0
+    capsys.readouterr()
+    assert (tmp_path / "EXPERIMENTS.md").read_bytes() == before
+
+    assert main(["report", "--quick", "--check", *args]) == 0
+    assert "check clean" in capsys.readouterr().out
+
+    (tmp_path / "EXPERIMENTS.md").write_text("tampered\n")
+    assert main(["report", "check", *args]) == 1
+    assert "DRIFT" in capsys.readouterr().out
+
+
+def test_report_render_with_store_defaults_doc_beside_it(tmp_path, capsys, monkeypatch):
+    # An explicit --store without --out must write the document next to
+    # that store, never onto the committed EXPERIMENTS.md.
+    store = str(tmp_path / "store")
+    assert main(["report", "run", "--quick", "--store", store]) == 0
+    capsys.readouterr()
+    assert (tmp_path / "store" / "EXPERIMENTS.md").is_file()
+    monkeypatch.chdir(tmp_path)  # a committed doc here would be clobbered
+    assert main(["report", "render", "--store", store]) == 0
+    capsys.readouterr()
+    assert not (tmp_path / "EXPERIMENTS.md").exists()
 
 
 def test_stray_positionals_are_rejected(capsys):
