@@ -12,13 +12,22 @@
     python -m repro fig3|fig4|fig5a|...   # one experiment's table
     python -m repro stream pwtk MLP256    # one adapter run
     python -m repro sweep pwtk,hood MLP64,MLP256   # ad-hoc engine sweep
+    python -m repro sweep pwtk ch1,ch2,ch4 --backend multichannel
 
 Experiment, sweep and report commands accept engine flags:
 
 ``--workers N``   fan the grid out over N worker processes
+``--shards S``    split each matrix group into S shard tasks
+                  (``auto`` = one per worker; intra-matrix sharding)
 ``--nnz N``       per-matrix nonzero budget (overrides REPRO_SCALE_NNZ)
 ``--model M``     adapter timing model, ``fast`` or ``cycle``
 ``--quick``       tiny canary run (3 small matrices, 12k nonzeros)
+
+``sweep`` additionally accepts ``--backend K`` to pick the sweep
+backend kind (``adapter`` default, ``system``, ``multichannel``,
+``scatter``, ``strided``); the variants argument is interpreted by the
+chosen backend (adapter labels, system names, ``ch<N>`` channel
+counts, ``s<bytes>`` strides).
 
 ``report`` additionally accepts:
 
@@ -29,8 +38,9 @@ Experiment, sweep and report commands accept engine flags:
 ``--check``       flag form of the ``check`` subcommand
 
 Bare ``report`` means ``report run``.  Environment knobs
-``REPRO_SCALE_NNZ``, ``REPRO_ADAPTER_MODEL`` and ``REPRO_WORKERS``
-supply defaults wherever the matching flag is omitted.
+``REPRO_SCALE_NNZ``, ``REPRO_ADAPTER_MODEL``, ``REPRO_WORKERS`` and
+``REPRO_SHARDS`` supply defaults wherever the matching flag is
+omitted.
 """
 
 from __future__ import annotations
@@ -39,7 +49,7 @@ import sys
 from dataclasses import dataclass
 from pathlib import Path
 
-from .engine import SweepExecutor, adapter_grid
+from .engine import SweepExecutor, grid_points, registered_kinds
 from .errors import ReproError
 from .experiments import format_table
 from .experiments.common import QUICK_MATRICES, QUICK_NNZ
@@ -55,8 +65,10 @@ _REPORT_MODES = ("run", "render", "check")
 @dataclass
 class _Options:
     workers: int | None = None
+    shards: int | str | None = None
     nnz: int | None = None
     model: str | None = None
+    backend: str | None = None
     quick: bool = False
     check: bool = False
     store: str | None = None
@@ -73,13 +85,26 @@ def _parse_flags(args: list[str]) -> tuple[list[str], _Options]:
             opts.quick = True
         elif arg == "--check":
             opts.check = True
-        elif arg in ("--workers", "--nnz", "--model", "--store", "--out"):
+        elif arg in (
+            "--workers", "--shards", "--nnz", "--model", "--backend",
+            "--store", "--out",
+        ):
             try:
                 value = next(it)
             except StopIteration:
                 raise ReproError(f"{arg} needs a value") from None
-            if arg in ("--model", "--store", "--out"):
+            if arg in ("--model", "--backend", "--store", "--out"):
                 setattr(opts, arg[2:], value)
+            elif arg == "--shards":
+                if value == "auto":
+                    opts.shards = "auto"
+                else:
+                    try:
+                        opts.shards = int(value)
+                    except ValueError:
+                        raise ReproError(
+                            f"--shards needs an integer or 'auto', got {value!r}"
+                        ) from None
             else:
                 try:
                     setattr(opts, arg[2:], int(value))
@@ -91,10 +116,17 @@ def _parse_flags(args: list[str]) -> tuple[list[str], _Options]:
             positional.append(arg)
     if opts.workers is not None and opts.workers < 1:
         raise ReproError("--workers must be >= 1")
+    if isinstance(opts.shards, int) and opts.shards < 1:
+        raise ReproError("--shards must be >= 1 or 'auto'")
     if opts.nnz is not None and opts.nnz < 1000:
         raise ReproError("--nnz must be >= 1000")
     if opts.model not in (None, "fast", "cycle"):
         raise ReproError(f"unknown adapter model {opts.model!r}")
+    if opts.backend is not None and opts.backend not in registered_kinds():
+        raise ReproError(
+            f"unknown sweep backend {opts.backend!r}; "
+            f"registered: {', '.join(registered_kinds())}"
+        )
     return positional, opts
 
 
@@ -106,6 +138,14 @@ def _reject_report_flags(command: str, opts: _Options) -> None:
         )
 
 
+def _reject_backend_flag(command: str, opts: _Options) -> None:
+    if opts.backend:
+        raise ReproError(
+            f"{command} does not accept --backend; it selects the kind "
+            "of an ad-hoc `sweep`"
+        )
+
+
 def _experiment_kwargs(name: str, opts: _Options) -> dict:
     if name in _PARAMLESS:
         if opts != _Options():
@@ -114,9 +154,10 @@ def _experiment_kwargs(name: str, opts: _Options) -> dict:
             )
         return {}
     _reject_report_flags(name, opts)
+    _reject_backend_flag(name, opts)
     kwargs: dict = {}
-    if opts.workers:
-        kwargs["executor"] = SweepExecutor(opts.workers)
+    if opts.workers or opts.shards:
+        kwargs["executor"] = SweepExecutor(opts.workers, shards=opts.shards)
     if opts.nnz:
         kwargs["max_nnz"] = opts.nnz
     if opts.model:
@@ -169,6 +210,7 @@ def _report_paths(mode: str, opts: _Options) -> tuple[Path, Path]:
 def _cmd_report(args: list[str], opts: _Options) -> int:
     from .report import check_report, render_report, run_report
 
+    _reject_backend_flag("report", opts)
     if len(args) > 1 or (args and args[0] not in _REPORT_MODES):
         raise ReproError(
             f"report takes one of {'/'.join(_REPORT_MODES)}, got {args}"
@@ -193,6 +235,7 @@ def _cmd_report(args: list[str], opts: _Options) -> int:
         max_nnz=opts.nnz,
         model=opts.model,
         workers=opts.workers,
+        shards=opts.shards,
     )
     if mode == "check":
         return 1 if check_report(store, out, **kwargs) else 0
@@ -217,7 +260,7 @@ def _cmd_stream(matrix: str, variant: str, opts: _Options) -> int:
     from .sparse.suite import DEFAULT_MAX_NNZ
 
     _reject_report_flags("stream", opts)
-    if opts.workers or opts.quick:
+    if opts.workers or opts.shards or opts.backend or opts.quick:
         raise ReproError("stream runs one point; only --nnz/--model apply")
     indices = matrix_index_stream(
         get_matrix(matrix, opts.nnz or DEFAULT_MAX_NNZ), "sell"
@@ -230,29 +273,31 @@ def _cmd_stream(matrix: str, variant: str, opts: _Options) -> int:
 
 
 def _cmd_sweep(matrices: str, variants: str, opts: _Options) -> int:
-    """Ad-hoc adapter sweep straight through the engine."""
+    """Ad-hoc sweep through any registered engine backend."""
+    from .engine import get_backend
     from .sparse.suite import DEFAULT_MAX_NNZ
 
     _reject_report_flags("sweep", opts)
-    executor = SweepExecutor(opts.workers) if opts.workers else SweepExecutor()
-    points = adapter_grid(
+    executor = SweepExecutor(opts.workers, shards=opts.shards)
+    kind = opts.backend or "adapter"
+    points = grid_points(
+        kind,
         tuple(matrices.split(",")),
         tuple(variants.split(",")),
         max_nnz=opts.nnz or (QUICK_NNZ if opts.quick else DEFAULT_MAX_NNZ),
         model=opts.model or "fast",
     )
+    # Each backend declares its own projection; None = all row columns.
+    columns = get_backend(kind).display_columns
     rows = [
         {
-            "matrix": cell["matrix"],
-            "variant": cell["variant"],
-            "indir_gbps": round(cell["indir_gbps"], 2),
-            "coal_rate": round(cell["coal_rate"], 3),
-            "elem_txns": cell["elem_txns"],
-            "cycles": cell["cycles"],
+            key: (round(value, 3) if isinstance(value, float) else value)
+            for key, value in cell.items()
+            if columns is None or key in columns
         }
         for cell in executor.run(points)
     ]
-    print(format_table(rows))
+    print(format_table(rows, list(columns) if columns else None))
     return 0
 
 

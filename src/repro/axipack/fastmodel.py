@@ -96,42 +96,30 @@ def block_sort_order(blocks: np.ndarray) -> np.ndarray:
     return np.argsort(np.asarray(blocks, dtype=np.int64), kind="stable")
 
 
-def coalesce_window_exact(
-    blocks: np.ndarray, window: int, order: np.ndarray | None = None
-) -> tuple[int, np.ndarray]:
-    """Count wide element accesses for a W-window coalescer.
+def window_candidates(
+    blocks: np.ndarray,
+    window: int,
+    order: np.ndarray | None = None,
+    base_window: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-window warp candidates of a block stream, window-grouped.
 
-    ``blocks`` is the per-request wide-block id stream.  Returns
-    ``(total_wide_accesses, warp_tags)`` where ``warp_tags`` is the
-    block id of every issued warp in issue order (used for the DRAM
-    bank/row walk).  ``order``, if given, must be
-    ``block_sort_order(blocks)`` (precomputed for sweep reuse).
+    The window-*local* half of :func:`coalesce_window_exact`: a request
+    is a warp candidate iff it is the first occurrence of its block
+    within its W-request window, and candidates are returned in stream
+    (first-occurrence) order as ``(cand, cand_win)`` — the block id and
+    the window index of every candidate.
 
-    Implements exactly the cycle model's grouping: all requests of one
-    window that fall into the same block form one warp; a warp left
-    open at a window swap keeps absorbing matching requests of the next
-    window (cache-less reuse across windows).
-
-    Fully vectorized; bit-exact against the retained per-window oracle
-    :func:`repro.axipack.reference.coalesce_window_reference` (the
-    property-based differential suite enforces this).  The per-window
-    warp candidates derive from the stable by-value sort — an element
-    opens a warp iff its block's previous occurrence falls in an
-    earlier window — and the sequential carry-across-windows dependence
-    collapses analytically:
-
-    With ``K[t]`` the carry tag entering window ``t``, ``C[t]`` the
-    window's distinct blocks in first-occurrence order, and ``L[t]`` /
-    ``S[t]`` the last / second-to-last entry of ``C[t]``, the oracle's
-    update is exactly ``K[t+1] = S[t] if (K[t] == L[t] and |C[t]| >= 2)
-    else L[t]``.  So only the *predicate* ``x[t] = (K[t] == L[t])``
-    couples consecutive windows, and its transition is one of four
-    boolean maps (constant / identity / negation), which a prefix scan
-    over anchor points and a negation-parity cumsum resolves without a
-    Python loop.
+    Because the predicate never looks outside the request's own window,
+    a stream chunked at *window-aligned* boundaries yields exactly the
+    concatenation of its chunks' candidates — the property the engine's
+    intra-matrix stream sharding relies on.  ``base_window`` offsets the
+    reported window indices for such a chunk (pass
+    ``chunk_start // window``).  ``order``, if given, must be
+    ``block_sort_order(blocks)`` for the same (chunk of the) stream.
     """
     if blocks.size == 0:
-        return 0, np.empty(0, dtype=np.int64)
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
     blocks = np.asarray(blocks, dtype=np.int64)
     n = blocks.size
     if order is None:
@@ -153,12 +141,29 @@ def coalesce_window_exact(
 
     cand = blocks[first_pos]  # warp candidates, window-grouped,
     cand_win = first_pos // window  # in first-occurrence order
-    num_win = (n - 1) // window + 1
+    if base_window:
+        cand_win = cand_win + base_window
+    return cand, cand_win
+
+
+def resolve_window_carry(
+    cand: np.ndarray, cand_win: np.ndarray, num_win: int
+) -> tuple[int, np.ndarray]:
+    """Collapse the carry-across-windows recurrence over candidates.
+
+    The sequential half of :func:`coalesce_window_exact`, operating on
+    the output of :func:`window_candidates` (possibly concatenated from
+    window-aligned stream chunks — every window in ``[0, num_win)``
+    must be populated, which holds for any contiguous stream).  Returns
+    ``(total_wide_accesses, warp_tags)``.
+    """
+    if cand.size == 0:
+        return 0, np.empty(0, dtype=np.int64)
     counts = np.bincount(cand_win, minlength=num_win)
     ends = np.cumsum(counts)
     last = cand[ends - 1]
     multi = counts >= 2
-    no_carry = int(sorted_blocks[0]) - 1  # sentinel below every real tag
+    no_carry = int(cand.min()) - 1  # sentinel below every real tag
     # Second-to-last candidate; the gather index is only meaningful
     # where the window has >= 2 candidates (masked below).
     second = np.where(multi, cand[ends - 2], no_carry)
@@ -192,6 +197,51 @@ def coalesce_window_exact(
     # merges into the open warp at no new access; the rest are issued.
     tags = cand[cand != carry[cand_win]]
     return int(tags.size), tags
+
+
+def coalesce_window_exact(
+    blocks: np.ndarray, window: int, order: np.ndarray | None = None
+) -> tuple[int, np.ndarray]:
+    """Count wide element accesses for a W-window coalescer.
+
+    ``blocks`` is the per-request wide-block id stream.  Returns
+    ``(total_wide_accesses, warp_tags)`` where ``warp_tags`` is the
+    block id of every issued warp in issue order (used for the DRAM
+    bank/row walk).  ``order``, if given, must be
+    ``block_sort_order(blocks)`` (precomputed for sweep reuse).
+
+    Implements exactly the cycle model's grouping: all requests of one
+    window that fall into the same block form one warp; a warp left
+    open at a window swap keeps absorbing matching requests of the next
+    window (cache-less reuse across windows).
+
+    Fully vectorized; bit-exact against the retained per-window oracle
+    :func:`repro.axipack.reference.coalesce_window_reference` (the
+    property-based differential suite enforces this).  The work splits
+    into two halves, exposed separately so the engine can shard a
+    stream across workers and merge exactly:
+
+    * :func:`window_candidates` — the window-local (and therefore
+      chunkable) candidate extraction via the stable by-value sort: an
+      element opens a warp iff its block's previous occurrence falls in
+      an earlier window;
+    * :func:`resolve_window_carry` — the sequential
+      carry-across-windows dependence, collapsed analytically.  With
+      ``K[t]`` the carry tag entering window ``t``, ``C[t]`` the
+      window's distinct blocks in first-occurrence order, and ``L[t]``
+      / ``S[t]`` the last / second-to-last entry of ``C[t]``, the
+      oracle's update is exactly ``K[t+1] = S[t] if (K[t] == L[t] and
+      |C[t]| >= 2) else L[t]``.  So only the *predicate* ``x[t] = (K[t]
+      == L[t])`` couples consecutive windows, and its transition is one
+      of four boolean maps (constant / identity / negation), which a
+      prefix scan over anchor points and a negation-parity cumsum
+      resolves without a Python loop.
+    """
+    if blocks.size == 0:
+        return 0, np.empty(0, dtype=np.int64)
+    cand, cand_win = window_candidates(blocks, window, order)
+    num_win = (int(blocks.size) - 1) // window + 1
+    return resolve_window_carry(cand, cand_win, num_win)
 
 
 def estimate_dram_cycles(
@@ -258,55 +308,71 @@ def _interleave_streams(elem_blocks: np.ndarray, idx_blocks: np.ndarray) -> np.n
     return merged
 
 
-def fast_indirect_stream(
-    indices: np.ndarray,
+def _channel_dram_cycles(
+    merged: np.ndarray, dram: DramConfig, channels: int
+) -> tuple[int, dict[str, int]]:
+    """DRAM service bound over ``channels`` block-interleaved channels.
+
+    Uses the same routing as :class:`repro.mem.multichannel.
+    MultiChannelMemory` (consecutive wide blocks rotate across
+    channels, i.e. ``block % channels``); the channel-select bits are
+    stripped before each channel's bank/row decode (``block //
+    channels``), the standard interleaved-address model.  The bound is
+    the slowest channel, the walk stats sum over channels.
+    ``channels == 1`` degenerates to :func:`estimate_dram_cycles`
+    unchanged.
+    """
+    if channels <= 1:
+        return estimate_dram_cycles(merged, dram)
+    cycles = 0
+    walk = {"row_changes": 0, "activates": 0}
+    for channel in range(channels):
+        ch_cycles, ch_walk = estimate_dram_cycles(
+            merged[merged % channels == channel] // channels, dram
+        )
+        cycles = max(cycles, ch_cycles)
+        for key in walk:
+            walk[key] += ch_walk[key]
+    return cycles, walk
+
+
+def fast_metrics_from_tags(
+    count: int,
+    elem_txns: int,
+    warp_tags: np.ndarray,
     config: AdapterConfig,
     dram_config: DramConfig | None = None,
     variant: str = "",
-    analysis: StreamAnalysis | None = None,
+    channels: int = 1,
 ) -> AdapterMetrics:
-    """Analytic counterpart of
-    :func:`repro.axipack.adapter.run_indirect_stream`.
+    """Analytic pipeline timing for a pre-coalesced element stream.
 
-    Pass ``analysis`` (from :func:`analyze_stream`) when sweeping many
-    variants over one stream to amortise the by-value sort; a stale
-    analysis (wrong element geometry, length, or sampled stream
-    content — see :func:`_analysis_matches`) falls back to recomputing.
+    The back half of :func:`fast_indirect_stream`: given the wide
+    element transaction count and the warp-tag issue stream (from
+    :func:`coalesce_window_exact`, or merged from window-aligned chunks
+    via :func:`resolve_window_carry`), derive the cycle count and
+    metrics.  The engine's stream-sharding merge calls this directly so
+    sharded and serial sweeps share one timing code path byte-for-byte.
     """
     dram = dram_config or DramConfig()
-    indices = np.ascontiguousarray(indices, dtype=np.int64)
-    count = int(indices.size)
-    elements_per_block = dram.access_bytes // config.element_bytes
-    if analysis is not None and _analysis_matches(
-        analysis, indices, elements_per_block
-    ):
-        blocks, sort_order = analysis.blocks, analysis.order
-    else:
-        blocks = indices // elements_per_block
-        sort_order = None
-
     idx_txns = ceil_div(count * config.index_bytes, dram.access_bytes)
     idx_blocks = np.arange(idx_txns, dtype=np.int64) + (1 << 22)  # separate region
 
     label = variant or _default_label(config)
     if not config.has_coalescer:
-        elem_txns = count
-        warp_tags = blocks
         watcher_cycles = 0
         gen_cycles = count  # one wide issue per request through one port
     else:
         assert config.coalescer is not None
-        window = config.coalescer.window
-        elem_txns, warp_tags = coalesce_window_exact(blocks, window, sort_order)
-        watcher_cycles = elem_txns + ceil_div(count, window)
+        watcher_cycles = elem_txns + ceil_div(count, config.coalescer.window)
         # SEQx serialises the upsizer input to one request per cycle;
         # the watcher and coalesce rate are identical to MLPx.
         gen_cycles = (
             ceil_div(count, config.lanes) if config.coalescer.parallel else count
         )
 
-    dram_cycles, dram_walk = estimate_dram_cycles(
-        _interleave_streams(warp_tags, idx_blocks), dram
+    dram_cycles, dram_walk = _channel_dram_cycles(
+        _interleave_streams(warp_tags, idx_blocks), dram, channels
     )
     pack_cycles = ceil_div(count, config.lanes)
     issue_cycles = elem_txns + idx_txns  # one wide request port
@@ -342,9 +408,55 @@ def fast_indirect_stream(
     metrics.extras["model"] = 1.0  # marker: fast model
     metrics.extras["dram_bound_cycles"] = float(dram_cycles)
     metrics.extras["dram_utilization"] = min(
-        1.0, (elem_txns + idx_txns) * dram.t_burst / cycles
+        1.0, (elem_txns + idx_txns) * dram.t_burst / (cycles * channels)
     )
+    if channels > 1:
+        metrics.extras["channels"] = float(channels)
     return metrics
+
+
+def fast_indirect_stream(
+    indices: np.ndarray,
+    config: AdapterConfig,
+    dram_config: DramConfig | None = None,
+    variant: str = "",
+    analysis: StreamAnalysis | None = None,
+    channels: int = 1,
+) -> AdapterMetrics:
+    """Analytic counterpart of
+    :func:`repro.axipack.adapter.run_indirect_stream`.
+
+    Pass ``analysis`` (from :func:`analyze_stream`) when sweeping many
+    variants over one stream to amortise the by-value sort; a stale
+    analysis (wrong element geometry, length, or sampled stream
+    content — see :func:`_analysis_matches`) falls back to recomputing.
+    ``channels > 1`` models the same adapter in front of a
+    block-interleaved multi-channel memory (see
+    :func:`repro.mem.multichannel.fast_multichannel_stream`).
+    """
+    dram = dram_config or DramConfig()
+    indices = np.ascontiguousarray(indices, dtype=np.int64)
+    count = int(indices.size)
+    elements_per_block = dram.access_bytes // config.element_bytes
+    if analysis is not None and _analysis_matches(
+        analysis, indices, elements_per_block
+    ):
+        blocks, sort_order = analysis.blocks, analysis.order
+    else:
+        blocks = indices // elements_per_block
+        sort_order = None
+
+    if not config.has_coalescer:
+        elem_txns = count
+        warp_tags = blocks
+    else:
+        assert config.coalescer is not None
+        elem_txns, warp_tags = coalesce_window_exact(
+            blocks, config.coalescer.window, sort_order
+        )
+    return fast_metrics_from_tags(
+        count, elem_txns, warp_tags, config, dram, variant, channels
+    )
 
 
 def _default_label(config: AdapterConfig) -> str:

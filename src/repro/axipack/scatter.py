@@ -40,6 +40,8 @@ from .cshr import Window
 from .element_request_gen import ElementRequestGen
 from .fastmodel import (
     PIPELINE_FILL_CYCLES,
+    StreamAnalysis,
+    _analysis_matches,
     coalesce_window_exact,
     estimate_dram_cycles,
 )
@@ -317,15 +319,30 @@ def fast_indirect_scatter(
     indices: np.ndarray,
     config: AdapterConfig | None = None,
     dram_config: DramConfig | None = None,
+    analysis: StreamAnalysis | None = None,
 ) -> AdapterMetrics:
-    """Analytic scatter counterpart (same window-exact coalescing)."""
+    """Analytic scatter counterpart (same window-exact coalescing).
+
+    ``analysis`` is the optional precomputed stream analysis
+    (:func:`repro.axipack.fastmodel.analyze_stream`) — the write
+    coalescer groups by the same wide-block ids as the read path, so a
+    sweep shares one sort across gather and scatter variants (the
+    engine's ``scatter`` backend passes its cached analysis here).
+    """
     config = config or AdapterConfig()
     dram = dram_config or DramConfig()
     if config.coalescer is None:
         raise SimulationError("the scatter path requires a coalescer")
     indices = np.ascontiguousarray(indices, dtype=np.int64)
-    blocks = indices * config.element_bytes // dram.access_bytes
-    elem_txns, tags = coalesce_window_exact(blocks, config.coalescer.window)
+    elements_per_block = dram.access_bytes // config.element_bytes
+    if analysis is not None and _analysis_matches(
+        analysis, indices, elements_per_block
+    ):
+        blocks, order = analysis.blocks, analysis.order
+    else:
+        blocks = indices * config.element_bytes // dram.access_bytes
+        order = None
+    elem_txns, tags = coalesce_window_exact(blocks, config.coalescer.window, order)
     idx_txns = ceil_div(len(indices) * config.index_bytes, dram.access_bytes)
     dram_cycles, walk = estimate_dram_cycles(tags, dram)
     gen = (

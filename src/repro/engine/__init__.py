@@ -6,15 +6,19 @@ per-matrix work: synthesising the matrix, deriving its index stream,
 and the stream's block-id analysis.  This package factors that into
 
 * :mod:`repro.engine.points` — :class:`SweepPoint` and grid builders,
-* :mod:`repro.engine.cache` — the keyed per-matrix analysis cache,
+* :mod:`repro.engine.backends` — the sweep backend protocol and
+  registry: one :class:`SweepBackend` per point kind declares how to
+  build points, evaluate a matrix group, split it into shard tasks,
+  and merge shard results deterministically,
+* :mod:`repro.engine.cache` — the keyed per-matrix analysis cache
+  (shard/chunk identity is part of every key),
 * :mod:`repro.engine.executor` — :class:`SweepExecutor`, which groups
-  points per matrix, runs each group through the cache, optionally
-  fans groups out over a ``concurrent.futures`` process pool, and
+  points per matrix, shards groups through their backends, optionally
+  fans shard tasks out over a ``concurrent.futures`` process pool, and
   returns a tidy result table (one dict per point, input order).
 
 Every experiment runner and benchmark goes through this engine, and
-:mod:`repro.report` persists the resulting tables; it is the substrate
-future scaling work (sharding, multi-backend) plugs into.  Quick tour::
+:mod:`repro.report` persists the resulting tables.  Quick tour::
 
     >>> from repro.engine import SweepExecutor, adapter_grid
     >>> rows = SweepExecutor().run(
@@ -23,17 +27,56 @@ future scaling work (sharding, multi-backend) plugs into.  Quick tour::
     ('MLP256', True)
 """
 
+from .backends import (
+    ShardTask,
+    SweepBackend,
+    get_backend,
+    grid_points,
+    register_backend,
+    registered_kinds,
+)
 from .cache import AnalysisCache
-from .executor import SweepExecutor, workers_from_env
-from .points import ADAPTER_KIND, SYSTEM_KIND, SweepPoint, adapter_grid, system_grid
+from .executor import (
+    SweepExecutor,
+    resolve_shards,
+    shards_from_env,
+    workers_from_env,
+)
+from .points import (
+    ADAPTER_KIND,
+    MULTICHANNEL_KIND,
+    SCATTER_KIND,
+    STRIDED_KIND,
+    SYSTEM_KIND,
+    SweepPoint,
+    adapter_grid,
+    multichannel_grid,
+    scatter_grid,
+    strided_grid,
+    system_grid,
+)
 
 __all__ = [
     "AnalysisCache",
     "SweepExecutor",
     "workers_from_env",
+    "shards_from_env",
+    "resolve_shards",
     "SweepPoint",
+    "SweepBackend",
+    "ShardTask",
+    "register_backend",
+    "registered_kinds",
+    "get_backend",
+    "grid_points",
     "adapter_grid",
     "system_grid",
+    "multichannel_grid",
+    "scatter_grid",
+    "strided_grid",
     "ADAPTER_KIND",
     "SYSTEM_KIND",
+    "MULTICHANNEL_KIND",
+    "SCATTER_KIND",
+    "STRIDED_KIND",
 ]

@@ -53,11 +53,29 @@ class AnalysisCache:
         self._streams: dict[tuple, np.ndarray] = {}
         self._analyses: dict[tuple, StreamAnalysis] = {}
         self._layouts: dict[tuple, dict] = {}
+        #: lookup counters (every stream/analysis/layout_stats call is
+        #: one hit or one miss); the executor snapshots these around
+        #: each shard task and surfaces the totals in run stats and the
+        #: report manifest.
+        self.hits = 0
+        self.misses = 0
 
     def _put(self, store: dict, key: tuple, value) -> None:
         if len(store) >= self.maxsize:
             store.pop(next(iter(store)))
         store[key] = value
+
+    def _count(self, store: dict, key: tuple) -> bool:
+        present = key in store
+        if present:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return present
+
+    def counters(self) -> dict[str, int]:
+        """Current ``{"hits": …, "misses": …}`` lookup totals."""
+        return {"hits": self.hits, "misses": self.misses}
 
     def matrix(self, name: str, max_nnz: int) -> CsrMatrix:
         """The scaled suite matrix.
@@ -69,22 +87,38 @@ class AnalysisCache:
         """
         return get_matrix(name, max_nnz)
 
-    def stream(self, name: str, fmt: str, max_nnz: int) -> np.ndarray:
+    def stream(
+        self,
+        name: str,
+        fmt: str,
+        max_nnz: int,
+        chunk: tuple[int, int] | None = None,
+    ) -> np.ndarray:
         """The format-ordered column-index stream for one matrix.
 
         ``fmt`` selects the traversal order (``"sell"`` or ``"csr"``);
         the returned array is the cached instance, so treat it as
-        read-only.
+        read-only.  ``chunk=(start, stop)`` names one contiguous slice
+        of the stream — a *distinct* cache entry keyed by the chunk
+        bounds, so a sharded run can never be served the whole-matrix
+        artifact in place of a chunk (or vice versa).
         """
-        key = (name, fmt, max_nnz)
-        if key not in self._streams:
-            self._put(
-                self._streams, key, matrix_index_stream(self.matrix(name, max_nnz), fmt)
-            )
+        key = (name, fmt, max_nnz, chunk)
+        if not self._count(self._streams, key):
+            if chunk is None:
+                value = matrix_index_stream(self.matrix(name, max_nnz), fmt)
+            else:
+                value = self.stream(name, fmt, max_nnz)[chunk[0] : chunk[1]]
+            self._put(self._streams, key, value)
         return self._streams[key]
 
     def analysis(
-        self, name: str, fmt: str, max_nnz: int, elements_per_block: int
+        self,
+        name: str,
+        fmt: str,
+        max_nnz: int,
+        elements_per_block: int,
+        chunk: tuple[int, int] | None = None,
     ) -> StreamAnalysis:
         """Block-id stream + stable sort, shared across window sizes.
 
@@ -92,14 +126,19 @@ class AnalysisCache:
         (``dram.access_bytes // config.element_bytes``); every window
         size of one variant family shares the same analysis, which is
         what makes the vectorized ``coalesce_window_exact`` ~24× faster
-        than the reference loop on the fig4 window sweep.
+        than the reference loop on the fig4 window sweep.  As with
+        :meth:`stream`, ``chunk`` bounds are part of the key: the
+        analysis of a stream chunk is never conflated with the
+        whole-stream analysis.
         """
-        key = (name, fmt, max_nnz, elements_per_block)
-        if key not in self._analyses:
+        key = (name, fmt, max_nnz, elements_per_block, chunk)
+        if not self._count(self._analyses, key):
             self._put(
                 self._analyses,
                 key,
-                analyze_stream(self.stream(name, fmt, max_nnz), elements_per_block),
+                analyze_stream(
+                    self.stream(name, fmt, max_nnz, chunk), elements_per_block
+                ),
             )
         return self._analyses[key]
 
@@ -111,7 +150,7 @@ class AnalysisCache:
         it without corrupting the cache.
         """
         key = (name, fmt, max_nnz)
-        if key not in self._layouts:
+        if not self._count(self._layouts, key):
             matrix = self.matrix(name, max_nnz)
             stream = self.stream(name, fmt, max_nnz)
             self._put(

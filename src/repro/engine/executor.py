@@ -1,20 +1,27 @@
-"""Batched sweep executor with per-matrix dedup and process fan-out.
+"""Batched sweep executor with per-matrix dedup, sharding and fan-out.
 
 :class:`SweepExecutor` turns a list of :class:`~repro.engine.points.
 SweepPoint` into a tidy result table (one dict per point, in input
-order).  Points are grouped by :attr:`SweepPoint.group_key` so all
-variants sharing one matrix/format/scale reuse the same cached stream
-analysis, then groups run either serially in-process or across a
-``concurrent.futures.ProcessPoolExecutor``.
+order).  Points are grouped by :attr:`SweepPoint.group_key`, each group
+is handed to its registered backend (:mod:`repro.engine.backends`) to
+**split** into shard tasks — variant chunks, and for fast-model
+adapter kinds window-aligned stream chunks — and the shard tasks run
+either serially in-process or across a
+``concurrent.futures.ProcessPoolExecutor``.  Finished shards are
+**merged** by the backend and reassembled in point order.
 
 Determinism: the result table depends only on the input points — the
-per-group work is pure (seeded generators, analytic models) and rows
-are reassembled in point order, so serial and pooled execution return
-identical tables (``tests/test_engine.py`` pins this).
+per-shard work is pure (seeded generators, analytic models), the merge
+re-runs the exact serial carry/metric computation on the shard
+payloads, and rows are reassembled in point order, so serial, pooled,
+and sharded execution return byte-identical tables
+(``tests/test_engine.py`` and ``tests/test_engine_backends.py`` pin
+this for every registered backend).
 
 Worker processes are started with the default (fork on Linux) start
 method; each worker keeps a module-level :class:`AnalysisCache` that
-persists across the tasks it serves.
+persists across the tasks it serves, with shard/chunk identity baked
+into every cache key.
 """
 
 from __future__ import annotations
@@ -23,16 +30,13 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Sequence
 
-from ..axipack import fast_indirect_stream, run_indirect_stream
-from ..axipack.metrics import AdapterMetrics
-from ..config import DramConfig, variant_config
 from ..errors import ExperimentError
-from ..sparse.suite import get_spec
+from .backends import ShardTask, get_backend
 from .cache import AnalysisCache
-from .points import ADAPTER_KIND, SYSTEM_KIND, SweepPoint
+from .points import SweepPoint
 
 #: per-process cache: the serial executor and every pool worker reuse
-#: matrix artifacts across all the groups they run.
+#: matrix artifacts across all the shard tasks they run.
 _PROCESS_CACHE = AnalysisCache()
 
 
@@ -60,101 +64,67 @@ def workers_from_env(default: int = 1) -> int:
     return value
 
 
-def _adapter_row(
-    point_base: tuple, variant: str, metrics: AdapterMetrics, dram: DramConfig
-) -> dict:
-    kind, matrix, fmt, max_nnz, model = point_base
-    return {
-        "kind": kind,
-        "matrix": matrix,
-        "format": fmt,
-        "variant": variant,
-        "model": model,
-        "max_nnz": max_nnz,
-        "count": metrics.count,
-        "cycles": metrics.cycles,
-        "idx_txns": metrics.idx_txns,
-        "elem_txns": metrics.elem_txns,
-        "indir_gbps": metrics.indirect_bw_gbps,
-        "elem_gbps": metrics.elem_bw_gbps,
-        "index_gbps": metrics.idx_bw_gbps,
-        "loss_gbps": metrics.loss_gbps(dram),
-        "coal_rate": metrics.coalesce_rate,
-    }
+def shards_from_env(default: int | str = 1) -> int | str:
+    """Shard knob from ``REPRO_SHARDS``: an integer or ``auto``.
+
+    ``auto`` resolves to the worker count at executor construction
+    (one shard task per worker and matrix group); ``1`` (the default)
+    keeps whole-group tasks.
+    """
+    raw = os.environ.get("REPRO_SHARDS", "")
+    if not raw:
+        return default
+    if raw == "auto":
+        return "auto"
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ExperimentError(f"bad REPRO_SHARDS={raw!r} (integer or 'auto')") from exc
+    if value < 1:
+        raise ExperimentError("REPRO_SHARDS must be >= 1")
+    return value
 
 
-def _run_adapter_group(group_key: tuple, variants: tuple[str, ...]) -> list[dict]:
-    kind, matrix, fmt, max_nnz, model = group_key
-    dram = DramConfig()
-    indices = _PROCESS_CACHE.stream(matrix, fmt, max_nnz)
-    rows = []
-    for variant in variants:
-        config = variant_config(variant)
-        if model == "cycle":
-            metrics = run_indirect_stream(indices, config, dram, variant=variant)
-        else:
-            analysis = _PROCESS_CACHE.analysis(
-                matrix, fmt, max_nnz, dram.access_bytes // config.element_bytes
-            )
-            metrics = fast_indirect_stream(
-                indices, config, dram, variant=variant, analysis=analysis
-            )
-        rows.append(_adapter_row(group_key, variant, metrics, dram))
-    return rows
+def resolve_shards(shards: int | str | None, workers: int) -> int:
+    """Normalise a shard setting (``None`` → env knob, ``"auto"`` →
+    ``workers``) to a concrete positive integer."""
+    if shards is None:
+        shards = shards_from_env()
+    if shards == "auto":
+        return max(1, workers)
+    try:
+        value = int(shards)
+    except (TypeError, ValueError) as exc:
+        raise ExperimentError(f"bad shard count {shards!r}") from exc
+    if value < 1:
+        raise ExperimentError("shard count must be >= 1")
+    return value
 
 
-def _run_system_group(group_key: tuple, systems: tuple[str, ...]) -> list[dict]:
-    # Imported here so adapter-only sweeps never pay for the vpc stack.
-    from ..vpc import BaselineSystem, PACK_SYSTEMS, PackSystem
+def _run_shard_task(task: ShardTask) -> tuple[object, dict[str, int]]:
+    """One pool task: evaluate a shard through its backend.
 
-    kind, matrix, fmt, max_nnz, model = group_key
-    spec = get_spec(matrix)
-    csr = _PROCESS_CACHE.matrix(matrix, max_nnz)
-    rows = []
-    for system in systems:
-        if system == "base":
-            result = BaselineSystem().run(
-                csr, matrix, llc_scale=csr.nrows / spec.n
-            )
-        else:
-            variant = PACK_SYSTEMS.get(system, system)
-            result = PackSystem(variant, adapter_model=model, name=system).run(
-                csr, matrix
-            )
-        rows.append(
-            {
-                "kind": kind,
-                "matrix": matrix,
-                "system": system,
-                "model": model,
-                "max_nnz": max_nnz,
-                "runtime_cycles": result.runtime_cycles,
-                "indirect_fraction": result.indirect_fraction,
-                "gflops": result.gflops,
-                "traffic_vs_ideal": result.traffic_vs_ideal,
-                "bw_utilization": result.bandwidth_utilization(),
-            }
-        )
-    return rows
-
-
-def _run_group(task: tuple[tuple, tuple[str, ...]]) -> list[dict]:
-    """One pool task: every variant of one (matrix, fmt, scale) group."""
-    group_key, variants = task
-    kind = group_key[0]
-    if kind == ADAPTER_KIND:
-        return _run_adapter_group(group_key, variants)
-    if kind == SYSTEM_KIND:
-        return _run_system_group(group_key, variants)
-    raise ExperimentError(f"unknown sweep point kind {kind!r}")
+    Returns the backend payload plus the cache hit/miss delta this task
+    incurred (workers own private caches, so deltas travel back with
+    the payload for the executor to aggregate).
+    """
+    backend = get_backend(task.group_key[0])
+    before = _PROCESS_CACHE.counters()
+    payload = backend.run_shard(task, _PROCESS_CACHE)
+    after = _PROCESS_CACHE.counters()
+    return payload, {key: after[key] - before[key] for key in after}
 
 
 class SweepExecutor:
-    """Run a grid of sweep points with dedup and optional fan-out.
+    """Run a grid of sweep points with dedup, sharding and fan-out.
 
     ``workers=1`` (the default, or ``REPRO_WORKERS`` unset) runs
-    serially in-process; ``workers>1`` fans matrix groups out over a
-    process pool.  Results are identical either way.
+    serially in-process; ``workers>1`` fans shard tasks out over a
+    process pool.  ``shards`` sets how many shard tasks each matrix
+    group splits into (``"auto"`` = one per worker, so a single-matrix
+    sweep saturates the pool; default 1 = whole-group tasks,
+    ``REPRO_SHARDS`` supplies the default).  Results are byte-identical
+    for every (workers, shards) combination.
 
     Example — the README's two-matrix adapter sweep::
 
@@ -166,20 +136,28 @@ class SweepExecutor:
         [3.5, 27.9]
     """
 
-    def __init__(self, workers: int | None = None) -> None:
+    def __init__(
+        self, workers: int | None = None, shards: int | str | None = None
+    ) -> None:
         self.workers = workers_from_env() if workers is None else int(workers)
         if self.workers < 1:
             raise ExperimentError("SweepExecutor needs at least one worker")
+        self.shards = resolve_shards(shards, self.workers)
+        #: run() statistics — per last call and accumulated totals.
+        self.last_stats: dict[str, int] = {}
+        self.stats = {"groups": 0, "tasks": 0, "cache_hits": 0, "cache_misses": 0}
 
     def run(self, points: Sequence[SweepPoint]) -> list[dict]:
         """Evaluate every point; one result row per point, input order.
 
         Fan-out semantics: points are bucketed by
         :attr:`~repro.engine.points.SweepPoint.group_key` (duplicate
-        variants within a group are evaluated once), each group becomes
-        one task — serial in-process, or one
-        ``ProcessPoolExecutor.map`` task per group when ``workers>1`` —
-        and finished rows are reassembled by
+        variants within a group are evaluated once), each group is
+        split by its backend into up to ``shards`` shard tasks, the
+        tasks run — serially in-process, or one
+        ``ProcessPoolExecutor.map`` task each when ``workers>1`` — and
+        the backend merges each group's shards back into rows.
+        Finished rows are reassembled by
         :attr:`~repro.engine.points.SweepPoint.row_key` so the output
         table always matches the input order, including points that
         repeat the same cell.  Row dicts are per-point copies; mutating
@@ -190,16 +168,38 @@ class SweepExecutor:
             variants = groups.setdefault(point.group_key, [])
             if point.variant not in variants:
                 variants.append(point.variant)
-        tasks = [(key, tuple(variants)) for key, variants in groups.items()]
+
+        tasks: list[ShardTask] = []
+        group_slices: dict[tuple, slice] = {}
+        for key, variants in groups.items():
+            split = get_backend(key[0]).split(key, tuple(variants), self.shards)
+            group_slices[key] = slice(len(tasks), len(tasks) + len(split))
+            tasks.extend(split)
 
         if self.workers == 1 or len(tasks) <= 1:
-            results = [_run_group(task) for task in tasks]
+            outcomes = [_run_shard_task(task) for task in tasks]
         else:
             with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                results = list(pool.map(_run_group, tasks))
+                outcomes = list(pool.map(_run_shard_task, tasks))
+
+        self.last_stats = {
+            "groups": len(groups),
+            "tasks": len(tasks),
+            "cache_hits": sum(delta["hits"] for _, delta in outcomes),
+            "cache_misses": sum(delta["misses"] for _, delta in outcomes),
+        }
+        for key, value in self.last_stats.items():
+            self.stats[key] += value
 
         by_key: dict[tuple, dict] = {}
-        for (group_key, variants), rows in zip(tasks, results):
+        for key, variants in groups.items():
+            window = group_slices[key]
+            rows = get_backend(key[0]).merge(
+                key,
+                tuple(variants),
+                tasks[window],
+                [payload for payload, _ in outcomes[window]],
+            )
             for variant, row in zip(variants, rows):
-                by_key[(*group_key, variant)] = row
+                by_key[(*key, variant)] = row
         return [dict(by_key[point.row_key]) for point in points]

@@ -1,14 +1,24 @@
 """Sweep design points and grid builders.
 
-A :class:`SweepPoint` names one cell of an experiment grid.  Two kinds
-exist:
+A :class:`SweepPoint` names one cell of an experiment grid.  Its
+``kind`` selects the sweep backend that evaluates it (see
+:mod:`repro.engine.backends` for the protocol and registry).  The
+built-in kinds:
 
 * ``adapter`` points run one adapter variant over one matrix's index
   stream (Figs. 3/4, window ablations) — ``variant`` is an adapter
   label such as ``"MLP256"`` and ``fmt`` selects the traversal order;
 * ``system`` points run one end-to-end SpMV system over one matrix
   (Figs. 5a/5b/6b) — ``variant`` is a system name (``"base"``,
-  ``"pack0"``, ``"pack64"``, ``"pack256"``) and ``fmt`` is unused.
+  ``"pack0"``, ``"pack64"``, ``"pack256"``) and ``fmt`` is unused;
+* ``multichannel`` points run the paper's adapter in front of a
+  block-interleaved multi-channel HBM — ``variant`` is a channel count
+  label (``"ch2"``, ``"ch4"``, …);
+* ``scatter`` points run the indirect *write* (scatter) path of one
+  coalescer variant over one matrix's index stream;
+* ``strided`` points run an AXI-Pack strided burst — ``variant`` is a
+  stride label (``"s16"`` = 16-byte stride) and ``max_nnz`` is the
+  element count (``matrix`` is a free-form workload label).
 """
 
 from __future__ import annotations
@@ -20,6 +30,9 @@ from ..sparse.suite import DEFAULT_MAX_NNZ
 
 ADAPTER_KIND = "adapter"
 SYSTEM_KIND = "system"
+MULTICHANNEL_KIND = "multichannel"
+SCATTER_KIND = "scatter"
+STRIDED_KIND = "strided"
 
 
 @dataclass(frozen=True)
@@ -32,12 +45,11 @@ class SweepPoint:
         SweepPoint(matrix='pwtk', variant='MLP256', fmt='sell',
                    max_nnz=12000, model='fast', kind='adapter')
 
-    ``kind`` is the executor's dispatch seam: ``"adapter"`` points run
-    one adapter variant over the matrix's index stream, ``"system"``
-    points run one end-to-end SpMV system.  New backends (multi-channel
-    DRAM sweeps, scatter grids, strided streams) plug in by adding a
-    kind here and a matching group runner in
-    :mod:`repro.engine.executor` — see ARCHITECTURE.md.
+    ``kind`` names the sweep backend that evaluates the point; it must
+    be registered in :mod:`repro.engine.backends` (an unknown kind
+    raises :class:`~repro.errors.ExperimentError` listing the
+    registered kinds).  New backends plug in by registering a
+    :class:`~repro.engine.backends.SweepBackend` — see ARCHITECTURE.md.
     """
 
     matrix: str
@@ -52,15 +64,19 @@ class SweepPoint:
             raise ExperimentError(
                 f"unknown adapter model {self.model!r}; expected fast or cycle"
             )
-        if self.kind not in (ADAPTER_KIND, SYSTEM_KIND):
-            raise ExperimentError(f"unknown sweep point kind {self.kind!r}")
+        # The registry owns the kind list; imported here (not at module
+        # top) because backends.py imports this module's constants.
+        from .backends import require_backend
+
+        require_backend(self.kind)
 
     @property
     def group_key(self) -> tuple:
         """Points sharing this key share all per-matrix analysis.
 
-        The executor runs one pool task per distinct group key, so the
-        key deliberately excludes ``variant``: every variant of one
+        The executor runs one pool task per distinct group key (or a
+        set of shard tasks when sharding is enabled), so the key
+        deliberately excludes ``variant``: every variant of one
         (kind, matrix, fmt, scale, model) combination reuses the same
         cached stream/analysis.
 
@@ -122,4 +138,66 @@ def system_grid(
         SweepPoint(matrix, system, "", max_nnz, model, SYSTEM_KIND)
         for matrix in matrices
         for system in systems
+    ]
+
+
+def multichannel_grid(
+    matrices: tuple[str, ...],
+    channels: tuple[str, ...] = ("ch1", "ch2", "ch4"),
+    formats: tuple[str, ...] = ("sell",),
+    max_nnz: int = DEFAULT_MAX_NNZ,
+    model: str = "fast",
+) -> list[SweepPoint]:
+    """The (format × matrix × channel-count) multi-channel DRAM grid.
+
+    ``channels`` entries are ``"ch<N>"`` labels; each point runs the
+    paper's MLP256 adapter against an N-channel block-interleaved HBM
+    (:func:`repro.mem.multichannel.fast_multichannel_stream`)::
+
+        >>> [p.variant for p in multichannel_grid(("pwtk",))]
+        ['ch1', 'ch2', 'ch4']
+    """
+    return [
+        SweepPoint(matrix, label, fmt, max_nnz, model, MULTICHANNEL_KIND)
+        for fmt in formats
+        for matrix in matrices
+        for label in channels
+    ]
+
+
+def scatter_grid(
+    matrices: tuple[str, ...],
+    variants: tuple[str, ...] = ("MLP64", "MLP256", "SEQ256"),
+    formats: tuple[str, ...] = ("sell",),
+    max_nnz: int = DEFAULT_MAX_NNZ,
+    model: str = "fast",
+) -> list[SweepPoint]:
+    """The (format × matrix × coalescer-variant) scatter-write grid.
+
+    Scatter requires a coalescer, so ``variants`` must be ``MLPx`` /
+    ``SEQx`` labels (no ``MLPnc``).
+    """
+    return [
+        SweepPoint(matrix, variant, fmt, max_nnz, model, SCATTER_KIND)
+        for fmt in formats
+        for matrix in matrices
+        for variant in variants
+    ]
+
+
+def strided_grid(
+    strides: tuple[str, ...] = ("s8", "s16", "s32", "s64"),
+    count: int = DEFAULT_MAX_NNZ,
+    label: str = "linear",
+    model: str = "fast",
+) -> list[SweepPoint]:
+    """The stride-sweep grid for AXI-Pack strided bursts.
+
+    ``strides`` entries are ``"s<bytes>"`` labels; ``count`` rides in
+    the point's ``max_nnz`` slot (elements per burst) and ``label`` is
+    a free-form workload tag stored as the point's ``matrix``.
+    """
+    return [
+        SweepPoint(label, stride, "", count, model, STRIDED_KIND)
+        for stride in strides
     ]

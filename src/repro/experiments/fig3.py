@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from ..axipack.variants import VARIANT_LABELS
 from ..config import DramConfig
-from ..engine import SweepExecutor, adapter_grid
+from ..engine import SweepExecutor, grid_points
 from ..sparse.suite import list_matrices
 from .common import adapter_model_from_env, scale_from_env
 
@@ -37,7 +37,7 @@ def run_fig3(
     peak = DramConfig().peak_bandwidth_gbps
 
     table = executor.run(
-        adapter_grid(matrices, variants, formats, max_nnz, model)
+        grid_points("adapter", matrices, variants, formats, max_nnz, model)
     )
     pivoted: dict[tuple[str, str], dict] = {}
     for cell in table:  # grid order is fmt-major, then matrix, then variant
@@ -49,7 +49,7 @@ def run_fig3(
     rows = list(pivoted.values())
 
     summary = _summarise(rows, formats, peak)
-    return {"rows": rows, "summary": summary}
+    return {"rows": rows, "summary": summary, "backends": ("adapter",)}
 
 
 def _summarise(rows: list[dict], formats: tuple[str, ...], peak: float) -> dict:

@@ -19,7 +19,7 @@ Paper observations tracked by ``summary``:
 from __future__ import annotations
 
 from ..axipack.variants import FIG4_VARIANTS
-from ..engine import SweepExecutor, adapter_grid
+from ..engine import SweepExecutor, grid_points
 from ..sparse.suite import FIG4_MATRICES
 from .common import adapter_model_from_env, scale_from_env
 
@@ -38,7 +38,7 @@ def run_fig4(
     executor = executor or SweepExecutor()
 
     table = executor.run(
-        adapter_grid(matrices, variants, (fmt,), max_nnz, model)
+        grid_points("adapter", matrices, variants, (fmt,), max_nnz, model)
     )
     rows = [
         {
@@ -54,7 +54,7 @@ def run_fig4(
     ]
 
     summary = _summarise(rows)
-    return {"rows": rows, "summary": summary}
+    return {"rows": rows, "summary": summary, "backends": ("adapter",)}
 
 
 def _summarise(rows: list[dict]) -> dict:

@@ -9,7 +9,7 @@ base.
 
 from __future__ import annotations
 
-from ..engine import SweepExecutor, system_grid
+from ..engine import SweepExecutor, grid_points
 from ..vpc import PACK_SYSTEMS
 from ..sparse.suite import FIG4_MATRICES
 from .common import adapter_model_from_env, geomean, scale_from_env
@@ -27,7 +27,9 @@ def run_fig5a(
     executor = executor or SweepExecutor()
 
     systems = ("base", *PACK_SYSTEMS)
-    table = executor.run(system_grid(matrices, systems, max_nnz, model))
+    table = executor.run(
+        grid_points("system", matrices, systems, max_nnz=max_nnz, model=model)
+    )
     base_cycles = {
         cell["matrix"]: cell["runtime_cycles"]
         for cell in table
@@ -50,7 +52,7 @@ def run_fig5a(
         summary["pack256_vs_pack0"] = round(
             geomean(speedups["pack256"]) / geomean(speedups["pack0"]), 2
         )
-    return {"rows": rows, "summary": summary}
+    return {"rows": rows, "summary": summary, "backends": ("system",)}
 
 
 def _row(cell: dict, base_cycles: float) -> dict:

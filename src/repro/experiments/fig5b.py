@@ -9,7 +9,7 @@ below the base system's traffic on average.
 
 from __future__ import annotations
 
-from ..engine import SweepExecutor, system_grid
+from ..engine import SweepExecutor, grid_points
 from ..vpc import PACK_SYSTEMS
 from ..sparse.suite import FIG4_MATRICES
 from .common import adapter_model_from_env, scale_from_env
@@ -27,7 +27,9 @@ def run_fig5b(
     executor = executor or SweepExecutor()
 
     systems = ("base", *PACK_SYSTEMS)
-    table = executor.run(system_grid(matrices, systems, max_nnz, model))
+    table = executor.run(
+        grid_points("system", matrices, systems, max_nnz=max_nnz, model=model)
+    )
     rows = [
         {
             "matrix": cell["matrix"],
@@ -39,7 +41,7 @@ def run_fig5b(
     ]
 
     summary = _summarise(rows)
-    return {"rows": rows, "summary": summary}
+    return {"rows": rows, "summary": summary, "backends": ("system",)}
 
 
 def _summarise(rows: list[dict]) -> dict:

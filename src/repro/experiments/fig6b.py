@@ -10,7 +10,7 @@ on-chip efficiency while retaining 1x / 0.9x performance efficiency.
 
 from __future__ import annotations
 
-from ..engine import SweepExecutor, system_grid
+from ..engine import SweepExecutor, grid_points
 from ..hw.soa import SOA_PROCESSORS, our_processor_datum
 from ..sparse.suite import FIG6B_MATRICES
 from .common import adapter_model_from_env, scale_from_env
@@ -27,7 +27,9 @@ def run_fig6b(
     model = model or adapter_model_from_env()
     executor = executor or SweepExecutor()
 
-    table = executor.run(system_grid(matrices, ("pack256",), max_nnz, model))
+    table = executor.run(
+        grid_points("system", matrices, ("pack256",), max_nnz=max_nnz, model=model)
+    )
     per_matrix = {cell["matrix"]: cell["gflops"] for cell in table}
     avg_gflops = sum(per_matrix.values()) / len(per_matrix)
 
@@ -71,4 +73,4 @@ def run_fig6b(
             2,
         ),
     }
-    return {"rows": rows, "summary": summary}
+    return {"rows": rows, "summary": summary, "backends": ("system",)}

@@ -5,6 +5,12 @@ many.  :class:`MultiChannelMemory` interleaves consecutive wide blocks
 across ``num_channels`` independent :class:`~repro.mem.dram.DramChannel`
 instances behind a single request/response pair, scaling peak bandwidth
 linearly — the substrate for the multi-channel ablation.
+
+:func:`fast_multichannel_stream` is the analytic counterpart and the
+entry point of the engine's ``multichannel`` sweep backend
+(:class:`repro.engine.backends.MultiChannelBackend`): the adapter's
+window-exact coalescing with the DRAM service bound taken per channel
+under this router's block-interleave mapping.
 """
 
 from __future__ import annotations
@@ -81,3 +87,39 @@ class MultiChannelMemory(Component):
             return 0.0
         busy = sum(c.busy_bus_cycles for c in self.channels)
         return min(1.0, busy / (elapsed_cycles * self.num_channels))
+
+
+def fast_multichannel_stream(
+    indices,
+    num_channels: int,
+    config=None,
+    dram_config: DramConfig | None = None,
+    variant: str = "",
+    analysis=None,
+):
+    """Analytic indirect-stream metrics over N interleaved channels.
+
+    Same window-exact coalescing as :func:`repro.axipack.fastmodel.
+    fast_indirect_stream`; the DRAM bound is the slowest of the
+    ``num_channels`` block-interleaved channels (consecutive wide
+    blocks rotate, exactly :meth:`MultiChannelMemory.channel_of`).
+    ``config`` defaults to the paper's MLP256 adapter;  ``analysis``
+    is the optional precomputed stream analysis, as in the
+    single-channel fast model.  ``num_channels == 1`` is bit-identical
+    to ``fast_indirect_stream``.
+    """
+    # Imported lazily: the mem layer sits below axipack, which imports
+    # mem's cycle components at load time.
+    from ..axipack.fastmodel import fast_indirect_stream
+    from ..config import variant_config
+
+    if num_channels < 1:
+        raise ValueError("need at least one channel")
+    return fast_indirect_stream(
+        indices,
+        config or variant_config("MLP256"),
+        dram_config,
+        variant=variant,
+        analysis=analysis,
+        channels=num_channels,
+    )

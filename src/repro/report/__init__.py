@@ -30,6 +30,7 @@ from .runner import (
     run_report,
 )
 from .store import (
+    STORE_FORMATS,
     STORE_SCHEMA_VERSION,
     ResultStore,
     format_cell,
@@ -52,6 +53,7 @@ __all__ = [
     "check_report",
     "render_report",
     "run_report",
+    "STORE_FORMATS",
     "STORE_SCHEMA_VERSION",
     "ResultStore",
     "format_cell",

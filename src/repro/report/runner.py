@@ -18,7 +18,7 @@ import time
 from itertools import zip_longest
 from pathlib import Path
 
-from ..engine import SweepExecutor, workers_from_env
+from ..engine import SweepExecutor, resolve_shards, workers_from_env
 from ..errors import ExperimentError
 from ..experiments import (
     adapter_model_from_env,
@@ -67,15 +67,18 @@ def _resolve(
     model: str | None,
     workers: int | None,
     matrices: tuple[str, ...] | None = None,
+    shards: int | str | None = None,
 ) -> dict:
     """Turn CLI/env knobs into the manifest's run configuration."""
     if matrices is None and quick:
         matrices = QUICK_MATRICES
+    resolved_workers = workers if workers is not None else workers_from_env()
     return {
         "matrices": list(matrices) if matrices else None,
         "scale_nnz": max_nnz or (QUICK_NNZ if quick else scale_from_env()),
         "adapter_model": model or adapter_model_from_env(),
-        "workers": workers if workers is not None else workers_from_env(),
+        "workers": resolved_workers,
+        "shards": resolve_shards(shards, resolved_workers),
         "seed": SUITE_SEED,
     }
 
@@ -101,6 +104,7 @@ def run_report(
     max_nnz: int | None = None,
     model: str | None = None,
     workers: int | None = None,
+    shards: int | str | None = None,
     matrices: tuple[str, ...] | None = None,
     experiments: tuple[str, ...] | None = None,
     stream=None,
@@ -110,7 +114,9 @@ def run_report(
     Returns the manifest that was written.  ``experiments`` restricts
     the run to a subset of :data:`repro.report.render.EXPERIMENT_ORDER`
     (tests use this to keep store round-trips fast); claims whose
-    experiment is excluded are recorded as ``missing``.
+    experiment is excluded are recorded as ``missing``.  The manifest
+    records each experiment's sweep backends (drift-checked) alongside
+    the volatile execution knobs (workers, shards, cache totals).
     """
     stream = sys.stdout if stream is None else stream
     names = experiments or EXPERIMENT_ORDER
@@ -118,8 +124,8 @@ def run_report(
     if unknown:
         raise ExperimentError(f"unknown experiments {unknown}")
 
-    config = _resolve(quick, max_nnz, model, workers, matrices)
-    executor = SweepExecutor(config["workers"])
+    config = _resolve(quick, max_nnz, model, workers, matrices, shards)
+    executor = SweepExecutor(config["workers"], shards=config["shards"])
     store = ResultStore(store_dir)
 
     results: dict[str, dict] = {}
@@ -127,7 +133,8 @@ def run_report(
     started = time.time()
     print(
         f"# report run (scale={config['scale_nnz']}, "
-        f"model={config['adapter_model']}, workers={config['workers']})",
+        f"model={config['adapter_model']}, workers={config['workers']}, "
+        f"shards={config['shards']})",
         file=stream,
     )
     for name in names:
@@ -137,6 +144,15 @@ def run_report(
         store.write_table(name, result["rows"])
         recorded[name] = {
             "rows": len(result["rows"]),
+            # The sweep backends this experiment runs on — declared by
+            # the runner, unioned with any `kind` column its rows kept
+            # (empty for paramless experiments).  Part of the drift-
+            # checked identity, so silently rerouting an experiment
+            # onto a different backend fails `report check`.
+            "backends": sorted(
+                set(result.get("backends", ()))
+                | {row["kind"] for row in result["rows"] if "kind" in row}
+            ),
             "summary": result["summary"],
         }
         print(
@@ -148,6 +164,10 @@ def run_report(
     manifest = dict(config)
     manifest["tolerances"] = claim_tolerances()
     manifest["experiments"] = recorded
+    manifest["cache"] = {
+        "hits": executor.stats["cache_hits"],
+        "misses": executor.stats["cache_misses"],
+    }
     store.write_manifest(manifest)
 
     doc_path = Path(doc_path)
@@ -192,6 +212,7 @@ def check_report(
     max_nnz: int | None = None,
     model: str | None = None,
     workers: int | None = None,
+    shards: int | str | None = None,
     stream=None,
 ) -> list[str]:
     """Diff a fresh run against the committed store and document.
@@ -200,7 +221,10 @@ def check_report(
     configuration is re-run, so a bare ``report check`` always compares
     like against like; explicit ``--quick``/``--nnz``/``--model`` are
     honoured and any disagreement with the committed manifest is
-    itself reported as drift.  Returns drift messages, empty if clean.
+    itself reported as drift.  ``workers``/``shards`` only change how
+    the fresh run executes (they are volatile manifest keys), so a
+    sharded parallel check proves the committed store byte-stable under
+    parallel execution.  Returns drift messages, empty if clean.
     """
     stream = sys.stdout if stream is None else stream
     committed = ResultStore(store_dir)
@@ -217,6 +241,7 @@ def check_report(
         "max_nnz": max_nnz if explicit_scale else manifest.get("scale_nnz"),
         "model": model or manifest.get("adapter_model"),
         "workers": workers,
+        "shards": shards,
         "matrices": None
         if explicit_scale
         else (tuple(committed_matrices) if committed_matrices else None),

@@ -5,18 +5,23 @@ the committed quick-scale run, ``results/full/`` for full-scale runs)
 holding
 
 * ``<experiment>.csv`` — one tidy table per experiment, byte-stable
-  across reruns of the same configuration;
+  across reruns of the same configuration (``fmt="parquet"`` swaps the
+  table files for ``<experiment>.parquet`` behind an optional pyarrow
+  import; CSV stays the dependency-free default);
 * ``claims.csv`` — the machine-readable paper-claim verdicts
   (:func:`repro.report.claims.claim_verdicts`);
 * ``manifest.json`` — the run manifest: schema version, scale,
-  adapter model, matrix set, workers, suite seed, per-claim
-  tolerances, and each experiment's headline summary.
+  adapter model, matrix set, workers, shard setting, suite seed,
+  per-claim tolerances, engine cache hit/miss totals, and each
+  experiment's headline summary plus the sweep backends it ran on.
 
 Byte stability is the store's core contract: cells are serialised with
 :func:`format_cell` (shortest-repr floats, ``\\n`` line endings) and
 parsed back with :func:`parse_cell`, so ``write → read → write``
 reproduces the file exactly and ``python -m repro report --check`` can
-diff stored tables against a fresh run.
+diff stored tables against a fresh run.  The parquet backend keeps the
+same contract by storing the :func:`format_cell` strings as string
+columns (typed parsing happens on read, exactly as for CSV).
 """
 
 from __future__ import annotations
@@ -29,13 +34,33 @@ from pathlib import Path
 from ..errors import ExperimentError
 
 #: Bump when the on-disk layout of tables or manifest changes shape.
-STORE_SCHEMA_VERSION = 1
+#: v2: manifest gained ``shards``, ``cache`` and per-experiment
+#: ``backends`` records.
+STORE_SCHEMA_VERSION = 2
 
 MANIFEST_NAME = "manifest.json"
 
+#: Supported table serialisations.
+STORE_FORMATS = ("csv", "parquet")
+
 #: Manifest keys that may legitimately differ between two runs of the
-#: same configuration (they do not affect any stored value).
-VOLATILE_MANIFEST_KEYS = ("workers",)
+#: same configuration (they do not affect any stored value): the
+#: worker fan-out, the shard setting, and the cache hit/miss totals
+#: (which depend on both).
+VOLATILE_MANIFEST_KEYS = ("workers", "shards", "cache")
+
+
+def _require_pyarrow():
+    """The optional parquet dependency, or an actionable error."""
+    try:
+        import pyarrow
+        import pyarrow.parquet
+    except ImportError as exc:  # pragma: no cover - depends on env
+        raise ExperimentError(
+            "store format 'parquet' needs the optional pyarrow dependency; "
+            "install pyarrow or use the default csv format"
+        ) from exc
+    return pyarrow
 
 
 def format_cell(value) -> str:
@@ -81,34 +106,53 @@ def _columns(rows: list[dict]) -> list[str]:
 
 
 class ResultStore:
-    """Tables + manifest in one directory, written deterministically."""
+    """Tables + manifest in one directory, written deterministically.
 
-    def __init__(self, root: Path | str) -> None:
+    ``fmt`` selects the table serialisation (:data:`STORE_FORMATS`);
+    the committed reference store is always CSV, parquet is an opt-in
+    for downstream analysis pipelines and needs pyarrow.
+    """
+
+    def __init__(self, root: Path | str, fmt: str = "csv") -> None:
+        if fmt not in STORE_FORMATS:
+            raise ExperimentError(
+                f"unknown store format {fmt!r}; expected one of {STORE_FORMATS}"
+            )
         self.root = Path(root)
+        self.fmt = fmt
 
     # -- tables ---------------------------------------------------------
 
     def table_path(self, name: str) -> Path:
-        return self.root / f"{name}.csv"
+        return self.root / f"{name}.{self.fmt}"
 
     def list_tables(self) -> list[str]:
         """Stored table names, sorted (stable across filesystems)."""
         if not self.root.is_dir():
             return []
-        return sorted(p.stem for p in self.root.glob("*.csv"))
+        return sorted(p.stem for p in self.root.glob(f"*.{self.fmt}"))
 
     def write_table(self, name: str, rows: list[dict]) -> Path:
         """Persist one result table; returns the file written."""
         if not rows:
             raise ExperimentError(f"refusing to store empty table {name!r}")
         columns = _columns(rows)
+        cells = [
+            [format_cell(row.get(col, "")) for col in columns] for row in rows
+        ]
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.table_path(name)
+        if self.fmt == "parquet":
+            pa = _require_pyarrow()
+            table = pa.table(
+                {col: [line[i] for line in cells] for i, col in enumerate(columns)}
+            )
+            pa.parquet.write_table(table, path)
+            return path
         buffer = io.StringIO()
         writer = csv.writer(buffer, lineterminator="\n")
         writer.writerow(columns)
-        for row in rows:
-            writer.writerow([format_cell(row.get(col, "")) for col in columns])
-        self.root.mkdir(parents=True, exist_ok=True)
-        path = self.table_path(name)
+        writer.writerows(cells)
         path.write_text(buffer.getvalue())
         return path
 
@@ -117,6 +161,17 @@ class ResultStore:
         path = self.table_path(name)
         if not path.is_file():
             raise ExperimentError(f"no stored table {name!r} in {self.root}")
+        if self.fmt == "parquet":
+            pa = _require_pyarrow()
+            table = pa.parquet.read_table(path)
+            columns = table.column_names
+            return [
+                {
+                    col: (parse_cell(value) if parse else value)
+                    for col, value in zip(columns, line)
+                }
+                for line in zip(*(table[col].to_pylist() for col in columns))
+            ]
         with path.open(newline="") as handle:
             reader = csv.reader(handle)
             try:
