@@ -8,8 +8,10 @@ coalescer area (kGE), total adapter area (mm², GF12) and on-chip
 storage — the ablation DESIGN.md calls out for the W parameter, useful
 for picking a window size under an area budget.
 
-Run:  python examples/design_space_exploration.py
+Run:  python examples/design_space_exploration.py [max_nnz]
 """
+
+import sys
 
 from repro.axipack import fast_indirect_stream
 from repro.axipack.streams import matrix_index_stream
@@ -23,8 +25,9 @@ WINDOWS = (8, 16, 32, 64, 128, 256, 512, 1024)
 
 
 def main() -> None:
+    max_nnz = int(sys.argv[1]) if len(sys.argv) > 1 else 60_000
     streams = [
-        matrix_index_stream(get_matrix(name, 60_000), "sell")
+        matrix_index_stream(get_matrix(name, max_nnz), "sell")
         for name in FIG4_MATRICES
     ]
 

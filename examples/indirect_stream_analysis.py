@@ -6,7 +6,7 @@ formats and prints the bandwidth breakdown: how much of the 32 GB/s
 HBM channel goes to element fetching versus index fetching, and how
 the coalesce rate responds to the window size.
 
-Run:  python examples/indirect_stream_analysis.py [matrix ...]
+Run:  python examples/indirect_stream_analysis.py [matrix ...] [--nnz N]
       python examples/indirect_stream_analysis.py af_shell10 HPCG
 """
 
@@ -43,14 +43,22 @@ def analyse(name: str, max_nnz: int = 120_000) -> None:
 
 
 def main() -> None:
-    names = sys.argv[1:] or ["af_shell10", "adaptive", "HPCG"]
+    args = sys.argv[1:]
+    max_nnz = 120_000
+    if "--nnz" in args:
+        flag = args.index("--nnz")
+        if flag + 1 >= len(args) or not args[flag + 1].isdigit():
+            raise SystemExit("--nnz needs a positive integer value")
+        max_nnz = int(args[flag + 1])
+        del args[flag : flag + 2]
+    names = args or ["af_shell10", "adaptive", "HPCG"]
     known = set(list_matrices())
     for name in names:
         if name not in known:
             raise SystemExit(
                 f"unknown matrix {name!r}; choose from: {', '.join(sorted(known))}"
             )
-        analyse(name)
+        analyse(name, max_nnz)
 
 
 if __name__ == "__main__":

@@ -7,8 +7,10 @@ sparse matrix, take its SELL column-index stream, and compare the
 no-coalescer adapter (MLPnc) with the 256-window parallel coalescer
 (MLP256) on the cycle-accurate model over the HBM2 channel.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [max_nnz]
 """
+
+import sys
 
 import numpy as np
 
@@ -19,9 +21,11 @@ from repro.sparse import get_matrix, spmv_sell
 
 
 def main() -> None:
+    max_nnz = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+
     # 1. A paper-suite matrix, scaled to laptop size (structure-matched
     #    stand-in for the SuiteSparse original; see DESIGN.md).
-    matrix = get_matrix("pwtk", max_nnz=20_000)
+    matrix = get_matrix("pwtk", max_nnz=max_nnz)
     print(f"matrix: {matrix}")
 
     # 2. SpMV itself is exact: the SELL kernel matches CSR.

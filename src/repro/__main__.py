@@ -298,6 +298,12 @@ def _cmd_sweep(matrices: str, variants: str, opts: _Options) -> int:
         for cell in executor.run(points)
     ]
     print(format_table(rows, list(columns) if columns else None))
+    stats = executor.last_stats
+    print(
+        f"engine: {stats['groups']} groups, {stats['tasks']} tasks, "
+        f"cache {stats['cache_hits']} hits / {stats['cache_misses']} misses "
+        f"(workers={executor.workers}, shards={executor.shards})"
+    )
     return 0
 
 

@@ -20,6 +20,7 @@ from ..errors import SimulationError
 from ..mem.backing_store import BackingStore
 from ..mem.dram import DramChannel
 from ..mem.ideal import IdealMemory
+from ..mem.multichannel import MultiChannelMemory
 from ..mem.reorder import ReorderBuffer
 from ..mem.request import MemRequest, MemResponse
 from ..sim.clock import Simulator
@@ -123,13 +124,22 @@ def build_indirect_system(
     dram_config: DramConfig | None = None,
     vec: np.ndarray | None = None,
     ideal_memory: bool = False,
+    channels: int = 1,
 ):
     """Preload DRAM with an index stream and an element vector, and wire
     an adapter + reorder front + memory into a simulator.
 
-    Returns ``(simulator, adapter, memory, expected_elements)``.
+    ``channels > 1`` replaces the single HBM2 pseudo-channel with a
+    block-interleaved :class:`~repro.mem.multichannel.
+    MultiChannelMemory` of that many channels (incompatible with
+    ``ideal_memory``).  Returns ``(simulator, adapter, memory,
+    expected_elements)``.
     """
     dram_config = dram_config or DramConfig()
+    if channels < 1:
+        raise SimulationError("need at least one memory channel")
+    if channels > 1 and ideal_memory:
+        raise SimulationError("ideal memory is single-channel only")
     indices = np.ascontiguousarray(indices, dtype=np.uint32)
     if indices.size == 0:
         raise SimulationError("empty index stream")
@@ -146,11 +156,14 @@ def build_indirect_system(
     idx_base = store.alloc_array(indices)
     vec_base = store.alloc_array(vec)
 
-    memory = (
-        IdealMemory(store, dram_config)
-        if ideal_memory
-        else DramChannel(store, dram_config)
-    )
+    if ideal_memory:
+        memory: IdealMemory | DramChannel | MultiChannelMemory = IdealMemory(
+            store, dram_config
+        )
+    elif channels > 1:
+        memory = MultiChannelMemory(store, dram_config, num_channels=channels)
+    else:
+        memory = DramChannel(store, dram_config)
     burst = IndirectBurst(
         index_base=idx_base,
         count=len(indices),
@@ -162,7 +175,10 @@ def build_indirect_system(
     reorder = ReorderBuffer(memory.req, memory.rsp, sinks)
     adapter = IndirectStreamUnit(config, dram_config, burst, reorder.req, sinks)
 
-    simulator = Simulator(adapter.components() + [reorder, memory])
+    memory_parts = (
+        memory.components() if isinstance(memory, MultiChannelMemory) else [memory]
+    )
+    simulator = Simulator(adapter.components() + [reorder, *memory_parts])
     expected = vec[indices]
     return simulator, adapter, memory, expected
 
@@ -175,16 +191,20 @@ def run_indirect_stream(
     verify: bool = True,
     ideal_memory: bool = False,
     max_cycles: int = 200_000_000,
+    channels: int = 1,
 ) -> AdapterMetrics:
     """Stream ``vec[indices]`` through the cycle-accurate adapter.
 
-    Returns the paper's adapter metrics; raises
-    :class:`~repro.errors.SimulationError` if the functional output does
-    not match the reference gather (with ``verify=True``).
+    ``channels > 1`` runs the adapter against a block-interleaved
+    multi-channel HBM (the substrate the ``multichannel`` sweep
+    backend's ``model=cycle`` points use).  Returns the paper's adapter
+    metrics; raises :class:`~repro.errors.SimulationError` if the
+    functional output does not match the reference gather (with
+    ``verify=True``).
     """
     dram_config = dram_config or DramConfig()
     simulator, adapter, memory, expected = build_indirect_system(
-        indices, config, dram_config, ideal_memory=ideal_memory
+        indices, config, dram_config, ideal_memory=ideal_memory, channels=channels
     )
     cycles = simulator.run_until(lambda: adapter.done, max_cycles=max_cycles)
 
@@ -211,8 +231,10 @@ def run_indirect_stream(
         freq_hz=dram_config.freq_hz,
         dram_stats=stats,
     )
-    if isinstance(memory, DramChannel):
+    if isinstance(memory, (DramChannel, MultiChannelMemory)):
         metrics.extras["dram_utilization"] = memory.utilization(cycles)
+    if isinstance(memory, MultiChannelMemory):
+        metrics.extras["channels"] = float(memory.num_channels)
     return metrics
 
 

@@ -11,9 +11,10 @@ the maximum over the pipeline's bottlenecks:
 * narrow request generation / element packing (N per cycle, or 1 for
   the sequential variant's watcher scan),
 * request-watcher warp retirement (one warp per cycle, parallel),
-* the DRAM channel: bus occupancy (``t_burst`` per transaction) and
-  per-bank activate serialisation (``t_rc`` per row change), estimated
-  with a vectorised bank/row walk over the actual transaction streams.
+* the DRAM channel: the bank-state service timeline of
+  :func:`repro.mem.timeline.service_timeline` — queue-bounded FR-FCFS
+  row grouping with open-row tracking over the actual transaction
+  streams (one timeline per memory channel for multi-channel sweeps).
 
 Tests cross-validate both the wide-access counts (exact match required)
 and the cycle counts (within a tolerance band) against the cycle model.
@@ -26,6 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..config import AdapterConfig, DramConfig
+from ..mem.timeline import TimelineResult, service_timeline
 from ..units import ceil_div
 from .metrics import AdapterMetrics
 
@@ -247,42 +249,18 @@ def coalesce_window_exact(
 def estimate_dram_cycles(
     blocks: np.ndarray, dram: DramConfig
 ) -> tuple[int, dict[str, int]]:
-    """Lower-bound service cycles for a wide-transaction stream.
+    """Service cycles for a wide-transaction stream.
 
-    Combines the data-bus occupancy bound with the per-bank activate
-    serialisation bound (``t_rc`` between activates of one bank), using
-    the same block-interleaved bank mapping as the cycle-level channel.
+    Thin compatibility wrapper over the bank-state timeline
+    (:func:`repro.mem.timeline.service_timeline`), which replaced the
+    analytic ``max(bus, t_rc * activates)`` bound here: the returned
+    stats keep the legacy two-counter shape (``row_changes`` /
+    ``activates``).  Callers that want the full row-hit/occupancy
+    breakdown should call the timeline directly; the legacy bound
+    itself survives as :func:`repro.mem.timeline.analytic_dram_bound`.
     """
-    txns = int(blocks.size)
-    if txns == 0:
-        return 0, {"row_changes": 0, "activates": 0}
-    banks = blocks % dram.num_banks
-    rows = blocks // (dram.num_banks * dram.blocks_per_row)
-
-    order = np.argsort(banks, kind="stable")
-    banks_sorted = banks[order]
-    rows_sorted = rows[order]
-    same_bank = banks_sorted[1:] == banks_sorted[:-1]
-    row_change = rows_sorted[1:] != rows_sorted[:-1]
-    changes_per_bank = np.bincount(
-        banks_sorted[1:][same_bank & row_change], minlength=dram.num_banks
-    )
-    present = np.bincount(banks_sorted, minlength=dram.num_banks) > 0
-    activates_per_bank = changes_per_bank + present.astype(np.int64)
-
-    bus_cycles = txns * dram.t_burst
-    bank_cycles = int(activates_per_bank.max()) * dram.t_rc
-    cycles = max(bus_cycles, bank_cycles)
-    # Refresh: the channel stalls tRFC out of every tREFI, and each
-    # refresh closes all rows (one extra activate per touched bank).
-    if dram.t_refi > 0:
-        refreshes = cycles // dram.t_refi
-        cycles += refreshes * dram.t_rfc
-    stats = {
-        "row_changes": int((same_bank & row_change).sum()),
-        "activates": int(activates_per_bank.sum()),
-    }
-    return cycles, stats
+    result = service_timeline(blocks, dram)
+    return result.cycles, result.legacy_stats
 
 
 def _interleave_streams(elem_blocks: np.ndarray, idx_blocks: np.ndarray) -> np.ndarray:
@@ -310,30 +288,37 @@ def _interleave_streams(elem_blocks: np.ndarray, idx_blocks: np.ndarray) -> np.n
 
 def _channel_dram_cycles(
     merged: np.ndarray, dram: DramConfig, channels: int
-) -> tuple[int, dict[str, int]]:
-    """DRAM service bound over ``channels`` block-interleaved channels.
+) -> tuple[int, dict[str, int], float]:
+    """Per-channel bank-state timelines over ``channels`` interleaved
+    channels.
 
     Uses the same routing as :class:`repro.mem.multichannel.
     MultiChannelMemory` (consecutive wide blocks rotate across
     channels, i.e. ``block % channels``); the channel-select bits are
     stripped before each channel's bank/row decode (``block //
-    channels``), the standard interleaved-address model.  The bound is
-    the slowest channel, the walk stats sum over channels.
-    ``channels == 1`` degenerates to :func:`estimate_dram_cycles`
-    unchanged.
+    channels``), matching the ``channel_stride`` decode the cycle-level
+    channels apply behind the multi-channel router.  Each channel's
+    transaction slice runs through its own
+    :func:`repro.mem.timeline.service_timeline`; the service time is
+    the slowest channel, the stats sum over channels, and the third
+    return is the transaction-weighted row-hit rate.
     """
     if channels <= 1:
-        return estimate_dram_cycles(merged, dram)
+        result = service_timeline(merged, dram)
+        return result.cycles, dict(result.stats), result.row_hit_rate
     cycles = 0
-    walk = {"row_changes": 0, "activates": 0}
+    stats: dict[str, int] = {}
+    hits = txns = 0
     for channel in range(channels):
-        ch_cycles, ch_walk = estimate_dram_cycles(
+        result = service_timeline(
             merged[merged % channels == channel] // channels, dram
         )
-        cycles = max(cycles, ch_cycles)
-        for key in walk:
-            walk[key] += ch_walk[key]
-    return cycles, walk
+        cycles = max(cycles, result.cycles)
+        hits += result.row_hits
+        txns += result.transactions
+        for key, value in result.stats.items():
+            stats[key] = stats.get(key, 0) + value
+    return cycles, stats, (hits / txns if txns else 0.0)
 
 
 def fast_metrics_from_tags(
@@ -371,7 +356,7 @@ def fast_metrics_from_tags(
             ceil_div(count, config.lanes) if config.coalescer.parallel else count
         )
 
-    dram_cycles, dram_walk = _channel_dram_cycles(
+    dram_cycles, dram_walk, row_hit_rate = _channel_dram_cycles(
         _interleave_streams(warp_tags, idx_blocks), dram, channels
     )
     pack_cycles = ceil_div(count, config.lanes)
@@ -407,6 +392,7 @@ def fast_metrics_from_tags(
     )
     metrics.extras["model"] = 1.0  # marker: fast model
     metrics.extras["dram_bound_cycles"] = float(dram_cycles)
+    metrics.extras["dram_row_hit_rate"] = row_hit_rate
     metrics.extras["dram_utilization"] = min(
         1.0, (elem_txns + idx_txns) * dram.t_burst / (cycles * channels)
     )

@@ -38,12 +38,12 @@ from .arbiter import Arbiter
 from .burst import IndirectBurst, NarrowRequest
 from .cshr import Window
 from .element_request_gen import ElementRequestGen
+from ..mem.timeline import service_timeline
 from .fastmodel import (
     PIPELINE_FILL_CYCLES,
     StreamAnalysis,
     _analysis_matches,
     coalesce_window_exact,
-    estimate_dram_cycles,
 )
 from .index_fetcher import INDEX_AXI_ID, IndexFetcher
 from .index_splitter import IndexSplitter
@@ -344,7 +344,10 @@ def fast_indirect_scatter(
         order = None
     elem_txns, tags = coalesce_window_exact(blocks, config.coalescer.window, order)
     idx_txns = ceil_div(len(indices) * config.index_bytes, dram.access_bytes)
-    dram_cycles, walk = estimate_dram_cycles(tags, dram)
+    # Wide writes stream through the same bank-state service timeline
+    # as reads (write bursts occupy the bus and rows identically).
+    timeline = service_timeline(tags, dram)
+    dram_cycles, walk = timeline.cycles, dict(timeline.stats)
     gen = (
         ceil_div(len(indices), config.lanes)
         if config.coalescer.parallel

@@ -32,10 +32,10 @@ from .burst import NarrowRequest
 from .coalescer import RequestCoalescer
 from .direct_path import DirectElementPath
 from .element_request_gen import RequestSink
+from ..mem.timeline import service_timeline
 from .fastmodel import (
     PIPELINE_FILL_CYCLES,
     coalesce_window_exact,
-    estimate_dram_cycles,
 )
 from .index_fetcher import ELEMENT_AXI_ID
 from .metrics import AdapterMetrics
@@ -234,7 +234,8 @@ def fast_strided_stream(
         elem_txns, tags = burst.count, blocks
         watcher, gen, tail = 0, burst.count, 0
 
-    dram_cycles, walk = estimate_dram_cycles(tags, dram)
+    timeline = service_timeline(tags, dram)
+    dram_cycles, walk = timeline.cycles, dict(timeline.stats)
     cycles = (
         max(gen, watcher, dram_cycles, elem_txns, ceil_div(burst.count, config.lanes))
         + PIPELINE_FILL_CYCLES

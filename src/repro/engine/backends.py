@@ -18,7 +18,7 @@ kind                      evaluates
                           (fast or cycle model)
 ``system``                one end-to-end SpMV system over a matrix
 ``multichannel``          the MLP256 adapter against an N-channel
-                          block-interleaved HBM (fast model)
+                          block-interleaved HBM (fast or cycle model)
 ``scatter``               the indirect *write* path of one coalescer
                           variant over a matrix index stream
 ``strided``               an AXI-Pack strided burst at one stride
@@ -416,10 +416,12 @@ class MultiChannelBackend(AdapterBackend):
 
     Rides the adapter backend's sharding machinery unchanged (including
     exact stream chunking); only the variant interpretation, the row
-    schema, and the fast-model entry point
-    (:func:`repro.mem.multichannel.fast_multichannel_stream`) differ.
-    Cycle-model points are rejected — the cycle adapter is wired to a
-    single :class:`~repro.mem.dram.DramChannel`.
+    schema, and the model entry points differ.  ``model="fast"`` runs
+    per-channel bank-state timelines
+    (:func:`repro.mem.multichannel.fast_multichannel_stream`);
+    ``model="cycle"`` wires the cycle-accurate adapter to a
+    :class:`~repro.mem.multichannel.MultiChannelMemory` — the
+    substrate the fast path is cross-validated against.
     """
 
     kind = MULTICHANNEL_KIND
@@ -441,12 +443,6 @@ class MultiChannelBackend(AdapterBackend):
             raise ExperimentError("channel count must be >= 1")
         return variant_config("MLP256"), channels
 
-    def cycle_metrics(self, indices, config, dram, variant):
-        raise ExperimentError(
-            "multichannel sweeps support model='fast' only; the cycle "
-            "adapter drives a single DRAM channel"
-        )
-
     def run_group(
         self, group_key: tuple, variants: tuple[str, ...], cache: AnalysisCache
     ) -> list[dict]:
@@ -456,22 +452,23 @@ class MultiChannelBackend(AdapterBackend):
         from ..mem.multichannel import fast_multichannel_stream
 
         kind, matrix, fmt, max_nnz, model = group_key
-        if model != "fast":
-            raise ExperimentError(
-                "multichannel sweeps support model='fast' only"
-            )
         dram = DramConfig()
         indices = cache.stream(matrix, fmt, max_nnz)
         rows = []
         for variant in variants:
             config, channels = self.variant_setup(variant)
-            analysis = cache.analysis(
-                matrix, fmt, max_nnz, dram.access_bytes // config.element_bytes
-            )
-            metrics = fast_multichannel_stream(
-                indices, channels, config, dram, variant=variant,
-                analysis=analysis,
-            )
+            if model == "cycle":
+                metrics = run_indirect_stream(
+                    indices, config, dram, variant=variant, channels=channels
+                )
+            else:
+                analysis = cache.analysis(
+                    matrix, fmt, max_nnz, dram.access_bytes // config.element_bytes
+                )
+                metrics = fast_multichannel_stream(
+                    indices, channels, config, dram, variant=variant,
+                    analysis=analysis,
+                )
             rows.append(self.row(group_key, variant, metrics, dram))
         return rows
 

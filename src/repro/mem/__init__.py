@@ -1,5 +1,6 @@
-"""Memory substrate: backing store, ideal memory, and the HBM2 channel
-model that replaces the paper's DRAMSys co-simulation."""
+"""Memory substrate: backing store, ideal memory, the HBM2 channel
+model that replaces the paper's DRAMSys co-simulation, and the
+bank-state service timeline the fast models price DRAM with."""
 
 from .backing_store import BackingStore
 from .dram import DramChannel
@@ -7,6 +8,7 @@ from .ideal import IdealMemory
 from .multichannel import MultiChannelMemory
 from .reorder import ReorderBuffer
 from .request import MemRequest, MemResponse
+from .timeline import TimelineResult, analytic_dram_bound, service_timeline
 
 __all__ = [
     "BackingStore",
@@ -16,4 +18,7 @@ __all__ = [
     "ReorderBuffer",
     "MemRequest",
     "MemResponse",
+    "TimelineResult",
+    "service_timeline",
+    "analytic_dram_bound",
 ]

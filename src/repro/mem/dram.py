@@ -54,10 +54,21 @@ class DramChannel(Component):
         store: BackingStore,
         config: DramConfig | None = None,
         name: str = "dram",
+        channel_stride: int = 1,
     ) -> None:
         super().__init__(name)
+        if channel_stride < 1:
+            raise ValueError("channel stride must be >= 1")
         self.store = store
         self.config = config or DramConfig()
+        #: block-id divisor applied before the bank/row decode.  A
+        #: channel behind an N-way block-interleaved router only sees
+        #: every Nth wide block; stripping the channel-select bits
+        #: (``block // N``) keeps all of its banks addressable instead
+        #: of diluting them to ``num_banks / N`` (the standard
+        #: interleaved-address decode, and the one the fast model's
+        #: per-channel timelines assume).
+        self.channel_stride = channel_stride
         self.req: Fifo[MemRequest] = self.make_fifo(self.config.queue_depth, "req")
         self.rsp: Fifo[MemResponse] = self.make_fifo(None, "rsp")
         self.stats = StatSet(name)
@@ -73,11 +84,11 @@ class DramChannel(Component):
     # -- address mapping -------------------------------------------------
 
     def bank_of(self, addr: int) -> int:
-        block = addr // self.config.access_bytes
+        block = addr // self.config.access_bytes // self.channel_stride
         return block % self.config.num_banks
 
     def row_of(self, addr: int) -> int:
-        block = addr // self.config.access_bytes
+        block = addr // self.config.access_bytes // self.channel_stride
         return block // (self.config.num_banks * self.config.blocks_per_row)
 
     # -- main loop ---------------------------------------------------------

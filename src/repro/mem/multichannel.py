@@ -9,8 +9,13 @@ linearly — the substrate for the multi-channel ablation.
 :func:`fast_multichannel_stream` is the analytic counterpart and the
 entry point of the engine's ``multichannel`` sweep backend
 (:class:`repro.engine.backends.MultiChannelBackend`): the adapter's
-window-exact coalescing with the DRAM service bound taken per channel
-under this router's block-interleave mapping.
+window-exact coalescing with one bank-state service timeline
+(:mod:`repro.mem.timeline`) per channel under this router's
+block-interleave mapping.  The cycle adapter wires to
+:class:`MultiChannelMemory` directly
+(``run_indirect_stream(..., channels=N)``), which is what the
+backend's ``model=cycle`` points run and the fast path is
+cross-validated against.
 """
 
 from __future__ import annotations
@@ -43,8 +48,15 @@ class MultiChannelMemory(Component):
             self.config.queue_depth, "req"
         )
         self.rsp: Fifo[MemResponse] = self.make_fifo(None, "rsp")
+        # Each channel strips the channel-select bits before its bank
+        # decode (channel_stride), so an N-channel stream still spreads
+        # over all num_banks banks per channel — the decode the fast
+        # model's per-channel timelines assume.
         self.channels = [
-            DramChannel(store, self.config, name=f"{name}.ch{i}")
+            DramChannel(
+                store, self.config, name=f"{name}.ch{i}",
+                channel_stride=num_channels,
+            )
             for i in range(num_channels)
         ]
         self.stats = StatSet(name)
@@ -100,13 +112,16 @@ def fast_multichannel_stream(
     """Analytic indirect-stream metrics over N interleaved channels.
 
     Same window-exact coalescing as :func:`repro.axipack.fastmodel.
-    fast_indirect_stream`; the DRAM bound is the slowest of the
-    ``num_channels`` block-interleaved channels (consecutive wide
-    blocks rotate, exactly :meth:`MultiChannelMemory.channel_of`).
-    ``config`` defaults to the paper's MLP256 adapter;  ``analysis``
-    is the optional precomputed stream analysis, as in the
-    single-channel fast model.  ``num_channels == 1`` is bit-identical
-    to ``fast_indirect_stream``.
+    fast_indirect_stream`; the DRAM service time is the slowest of
+    ``num_channels`` per-channel bank-state timelines
+    (:func:`repro.mem.timeline.service_timeline`), each fed its slice
+    of the block-interleaved transaction stream (consecutive wide
+    blocks rotate, exactly :meth:`MultiChannelMemory.channel_of`, with
+    the channel-select bits stripped before the bank decode exactly as
+    the channels' ``channel_stride`` does).  ``config`` defaults to
+    the paper's MLP256 adapter;  ``analysis`` is the optional
+    precomputed stream analysis, as in the single-channel fast model.
+    ``num_channels == 1`` is bit-identical to ``fast_indirect_stream``.
     """
     # Imported lazily: the mem layer sits below axipack, which imports
     # mem's cycle components at load time.

@@ -139,6 +139,7 @@ def run_report(
     )
     for name in names:
         t0 = time.time()
+        stats_before = dict(executor.stats)
         result = RUNNERS[name](**_runner_kwargs(name, config, executor))
         results[name] = result
         store.write_table(name, result["rows"])
@@ -155,8 +156,13 @@ def run_report(
             ),
             "summary": result["summary"],
         }
+        delta = {
+            key: executor.stats[key] - stats_before[key] for key in executor.stats
+        }
         print(
-            f"  {name}: {len(result['rows'])} rows [{time.time() - t0:.1f}s]",
+            f"  {name}: {len(result['rows'])} rows, {delta['tasks']} tasks, "
+            f"cache {delta['cache_hits']}/{delta['cache_misses']} hit/miss "
+            f"[{time.time() - t0:.1f}s]",
             file=stream,
         )
 
@@ -175,7 +181,10 @@ def run_report(
     doc_path.write_text(render_document(store))
     print(
         f"wrote {store.root}/ ({len(names)} tables + claims + manifest) "
-        f"and {doc_path} [{time.time() - started:.1f}s]",
+        f"and {doc_path} "
+        f"[{time.time() - started:.1f}s; {executor.stats['tasks']} tasks, "
+        f"cache {executor.stats['cache_hits']}/{executor.stats['cache_misses']} "
+        f"hit/miss]",
         file=stream,
     )
     return store.read_manifest()

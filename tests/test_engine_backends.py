@@ -218,14 +218,25 @@ class TestChunkedCacheKeys:
 
 
 class TestBackendValidation:
-    def test_multichannel_rejects_bad_labels_and_cycle_model(self):
+    def test_multichannel_rejects_bad_labels(self):
         backend = get_backend("multichannel")
         with pytest.raises(ExperimentError):
             backend.variant_setup("MLP64")
         with pytest.raises(ExperimentError):
-            SweepExecutor(workers=1).run(
-                [SweepPoint("pwtk", "ch2", "sell", TINY, "cycle", "multichannel")]
-            )
+            backend.variant_setup("ch0")
+
+    def test_multichannel_cycle_model_runs(self):
+        """model='cycle' wires the adapter to MultiChannelMemory (the
+        historic rejection is lifted); the fast per-channel timelines
+        must land near the cycle run on the same point."""
+        points = [
+            SweepPoint("pwtk", "ch2", "sell", 3000, model, "multichannel")
+            for model in ("cycle", "fast")
+        ]
+        cycle_row, fast_row = SweepExecutor(workers=1).run(points)
+        assert cycle_row["model"] == "cycle" and cycle_row["channels"] == 2
+        assert cycle_row["cycles"] > 0
+        assert 0.7 <= cycle_row["cycles"] / fast_row["cycles"] <= 1.6
 
     def test_strided_rejects_bad_labels(self):
         backend = get_backend("strided")

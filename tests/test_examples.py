@@ -1,0 +1,49 @@
+"""Headless smoke runs of every ``examples/*.py`` script.
+
+The examples are documentation that executes; without a test they rot
+into dead code paths the moment an API they showcase moves.  Each
+script is run in-process (``runpy``, real ``main()`` execution) at a
+quick scale passed through its command-line arguments, and the test
+asserts it completes and prints its headline output.  A new
+``examples/*.py`` must be registered here — the completeness test
+fails otherwise.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: script name -> (quick-scale argv, substring its output must contain).
+SCRIPTS = {
+    "quickstart.py": (["3000"], "fast model (MLP256)"),
+    "cg_solver.py": (["3000", "3"], "CG solver speedup"),
+    "design_space_exploration.py": (["4000"], "GB/s per kGE"),
+    "indirect_stream_analysis.py": (
+        ["pwtk", "--nnz", "4000"], "all bandwidths in GB/s",
+    ),
+    "sparse_transpose.py": (["G3_circuit", "2000"], "wide writes"),
+    "spmv_system_comparison.py": (["G3_circuit", "3000"], "pack256"),
+}
+
+
+def test_every_example_is_registered():
+    on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(SCRIPTS), (
+        "examples/ and the smoke-test registry drifted apart; "
+        f"only on disk: {on_disk - set(SCRIPTS)}, "
+        f"only registered: {set(SCRIPTS) - on_disk}"
+    )
+
+
+@pytest.mark.parametrize("script", sorted(SCRIPTS))
+def test_example_runs_headless(script, capsys, monkeypatch):
+    argv, expected = SCRIPTS[script]
+    path = EXAMPLES_DIR / script
+    monkeypatch.setattr(sys, "argv", [str(path), *argv])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert expected in out, f"{script} output lost its headline: {out[-500:]}"
