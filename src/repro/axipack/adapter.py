@@ -23,7 +23,7 @@ from ..mem.ideal import IdealMemory
 from ..mem.multichannel import MultiChannelMemory
 from ..mem.reorder import ReorderBuffer
 from ..mem.request import MemRequest, MemResponse
-from ..sim.clock import Simulator
+from ..sim.clock import Simulator, default_engine
 from ..sim.component import Component
 from ..sim.fifo import Fifo
 from .burst import IndirectBurst
@@ -103,6 +103,12 @@ class IndirectStreamUnit(Component):
     def tick(self) -> None:
         """The container itself only hosts wiring FIFOs."""
 
+    def next_event(self) -> int | None:
+        return None  # no behaviour of its own, ever
+
+    def wake_fifos(self):
+        return [], []  # owns wiring FIFOs but never reacts to them
+
     @property
     def done(self) -> bool:
         return self.packer.done
@@ -125,6 +131,7 @@ def build_indirect_system(
     vec: np.ndarray | None = None,
     ideal_memory: bool = False,
     channels: int = 1,
+    engine: str | None = None,
 ):
     """Preload DRAM with an index stream and an element vector, and wire
     an adapter + reorder front + memory into a simulator.
@@ -132,8 +139,10 @@ def build_indirect_system(
     ``channels > 1`` replaces the single HBM2 pseudo-channel with a
     block-interleaved :class:`~repro.mem.multichannel.
     MultiChannelMemory` of that many channels (incompatible with
-    ``ideal_memory``).  Returns ``(simulator, adapter, memory,
-    expected_elements)``.
+    ``ideal_memory``).  ``engine`` selects the simulation engine
+    (``"step"`` or ``"batched"``, default
+    :func:`~repro.sim.clock.default_engine`); both are bit-exact.
+    Returns ``(simulator, adapter, memory, expected_elements)``.
     """
     dram_config = dram_config or DramConfig()
     if channels < 1:
@@ -178,7 +187,10 @@ def build_indirect_system(
     memory_parts = (
         memory.components() if isinstance(memory, MultiChannelMemory) else [memory]
     )
-    simulator = Simulator(adapter.components() + [reorder, *memory_parts])
+    simulator = Simulator(
+        adapter.components() + [reorder, *memory_parts],
+        engine=engine or default_engine(),
+    )
     expected = vec[indices]
     return simulator, adapter, memory, expected
 
@@ -192,19 +204,27 @@ def run_indirect_stream(
     ideal_memory: bool = False,
     max_cycles: int = 200_000_000,
     channels: int = 1,
+    engine: str | None = None,
 ) -> AdapterMetrics:
     """Stream ``vec[indices]`` through the cycle-accurate adapter.
 
     ``channels > 1`` runs the adapter against a block-interleaved
     multi-channel HBM (the substrate the ``multichannel`` sweep
-    backend's ``model=cycle`` points use).  Returns the paper's adapter
-    metrics; raises :class:`~repro.errors.SimulationError` if the
-    functional output does not match the reference gather (with
-    ``verify=True``).
+    backend's ``model=cycle`` points use).  ``engine`` selects the
+    step-wise or event-batched simulation engine (both bit-exact;
+    default :func:`~repro.sim.clock.default_engine`).  Returns the
+    paper's adapter metrics; raises
+    :class:`~repro.errors.SimulationError` if the functional output
+    does not match the reference gather (with ``verify=True``).
     """
     dram_config = dram_config or DramConfig()
     simulator, adapter, memory, expected = build_indirect_system(
-        indices, config, dram_config, ideal_memory=ideal_memory, channels=channels
+        indices,
+        config,
+        dram_config,
+        ideal_memory=ideal_memory,
+        channels=channels,
+        engine=engine,
     )
     cycles = simulator.run_until(lambda: adapter.done, max_cycles=max_cycles)
 

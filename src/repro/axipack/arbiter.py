@@ -32,6 +32,14 @@ class Arbiter(Component):
                 self._next = (port + 1) % len(self.inputs)
                 return
 
+    def next_event(self) -> int | None:
+        if self.output.can_push() and any(f.can_pop() for f in self.inputs):
+            return self.cycle
+        return None
+
+    def watches(self) -> list[Fifo]:
+        return [*self.inputs, self.output]
+
     @property
     def busy(self) -> bool:
         return any(f.can_pop() for f in self.inputs)

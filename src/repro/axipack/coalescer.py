@@ -38,7 +38,7 @@ import numpy as np
 from ..config import AdapterConfig, DramConfig
 from ..errors import ConfigError
 from ..mem.request import MemRequest, MemResponse
-from ..sim.component import Component
+from ..sim.component import FAR_FUTURE, Component
 from ..sim.fifo import Fifo
 from ..sim.stats import StatSet
 from .burst import NarrowRequest
@@ -111,6 +111,9 @@ class RequestCoalescer(Component):
     def accept(self, request: NarrowRequest) -> None:
         self.request_queues[request.seq % self.cc.window].push(request)
         self._queued_requests += 1
+
+    def accept_watches(self) -> list[Fifo]:
+        return list(self.request_queues)
 
     # -- main loop -----------------------------------------------------------
 
@@ -282,6 +285,72 @@ class RequestCoalescer(Component):
             if queue.can_pop() and sink.can_push():
                 sink.push(queue.pop())
                 self._down_ptr[lane] = (self._down_ptr[lane] + lanes) % window
+
+    # -- batched-engine protocol ----------------------------------------------------
+
+    def next_event(self) -> int | None:
+        cycle = self.cycle
+        # Response splitter: while a returned warp sits at the head it
+        # delivers (or records splitter_stalls) every single cycle.
+        if self.elem_rsp.can_pop() and self.hitmap_queue.can_pop():
+            return cycle
+        # Downsizer: one element per lane per cycle while data is staged.
+        for lane in range(self.config.lanes):
+            if (
+                self.element_queues[self._down_ptr[lane]].can_pop()
+                and self.lane_out[lane].can_push()
+            ):
+                return cycle
+        window = self._window
+        if window is not None and not window.exhausted:
+            # Watcher with pending misses: arming and issuing are
+            # immediate; blocked mid-window (starved elem_req space)
+            # only downstream pops can unblock us.
+            if not self._cshr.armed or self._can_issue():
+                return cycle
+            if window.groups.get(self._cshr.tag):
+                return cycle  # absorbable hits for the open warp
+            return None
+        due = FAR_FUTURE
+        if self._cshr.has_hits and self._can_issue():
+            wd = self.cc.watchdog_timeout - 1 - self._watchdog_wait
+            due = cycle + wd if wd > 0 else cycle
+        if self._queued_requests > 0:
+            if (
+                self._queued_requests >= self.cc.window
+                or self._regulator_wait >= self.cc.regulator_timeout
+            ):
+                return cycle
+            due = min(
+                due, cycle + self.cc.regulator_timeout - self._regulator_wait
+            )
+        return None if due >= FAR_FUTURE else due
+
+    def advance(self, cycles: int) -> None:
+        # Replays what the skipped ticks would have done to the two pure
+        # time counters; all other state is provably untouched while the
+        # component is skippable (see next_event).
+        window = self._window
+        if window is not None and not window.exhausted:
+            return
+        if self._cshr.has_hits:
+            self._watchdog_wait += cycles
+        if self._queued_requests == 0:
+            self._regulator_wait = 0
+        elif (
+            self._queued_requests < self.cc.window
+            and self._regulator_wait < self.cc.regulator_timeout
+        ):
+            self._regulator_wait += cycles
+
+    def wake_fifos(self) -> tuple[list[Fifo], list[Fifo]]:
+        # The regulator observes accepts the same cycle they are staged
+        # (accept() fills request_queues during the generator's tick), so
+        # those queues stay push-sensitive; everything else only matters
+        # on pops and commits.
+        return [*self.fifos, self.elem_req, self.elem_rsp], list(
+            self.request_queues
+        )
 
     # -- reporting ------------------------------------------------------------------
 

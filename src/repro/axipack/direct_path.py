@@ -75,6 +75,9 @@ class DirectElementPath(Component):
         self.stats.add("wide_elem_txns")
         self._expected_seq += 1
 
+    def accept_watches(self) -> list[Fifo]:
+        return [self.meta, self.elem_req]
+
     # -- return path ----------------------------------------------------------
 
     def tick(self) -> None:
@@ -88,3 +91,15 @@ class DirectElementPath(Component):
         assert response.data is not None
         values = response.data.view(np.dtype("<f8"))
         self.lane_out[lane].push(float(values[offset]))
+
+    def next_event(self) -> int | None:
+        if not self.elem_rsp.can_pop() or not self.meta.can_pop():
+            return None
+        lane, _offset = self.meta.peek()
+        return self.cycle if self.lane_out[lane].can_push() else None
+
+    def wake_fifos(self) -> tuple[list[Fifo], list[Fifo]]:
+        # accept() fills meta/elem_req during the generator's tick, but
+        # those entries only become poppable here after commit, so the
+        # return path never observes pre-commit state.
+        return [*self.fifos, self.elem_rsp], []

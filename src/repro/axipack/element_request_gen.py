@@ -34,6 +34,11 @@ class RequestSink(Protocol):
         """Take ownership of one narrow request."""
         ...
 
+    def accept_watches(self) -> list:
+        """FIFOs whose activity can change ``can_accept`` (for the
+        batched engine: the generator watches these)."""
+        ...
+
 
 class ElementRequestGen(Component):
     """Generates N parallel (or ordered / 1-sequential) narrow
@@ -81,6 +86,33 @@ class ElementRequestGen(Component):
         else:
             limit = 1 if self.mode == self.MODE_SEQUENTIAL else self.config.lanes
             self._tick_ordered(limit)
+
+    def next_event(self) -> int | None:
+        if self.done:
+            return None
+        lanes = self.config.lanes
+        if self.mode == self.MODE_PARALLEL:
+            for lane in range(lanes):
+                seq = self._lane_counts[lane] * lanes + lane
+                if (
+                    seq < self.burst.count
+                    and self.splitter.lane_queues[lane].can_pop()
+                    and self.sink.can_accept(seq)
+                ):
+                    return self.cycle
+            return None
+        if self._cursor >= self.burst.count:
+            return None
+        lane = self._cursor % lanes
+        if (
+            self.splitter.lane_queues[lane].can_pop()
+            and self.sink.can_accept(self._cursor)
+        ):
+            return self.cycle
+        return None
+
+    def watches(self) -> list:
+        return [*self.splitter.lane_queues, *self.sink.accept_watches()]
 
     def _make_request(self, lane: int, seq: int, index: int) -> NarrowRequest:
         addr = self.burst.element_base + index * self.burst.element_bytes

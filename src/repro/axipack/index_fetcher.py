@@ -52,6 +52,10 @@ class IndexFetcher(Component):
         """Called by the element request generator when indices retire."""
         self.credits_used -= count
         assert self.credits_used >= 0, "index credit underflow"
+        if count > 0:
+            # Credit returns are a non-FIFO input channel: tell the
+            # batched engine to re-evaluate (no-op under step).
+            self.wake()
 
     def tick(self) -> None:
         if self._burst is None:
@@ -85,6 +89,24 @@ class IndexFetcher(Component):
         self.credits_used += indices_in_block
         self.blocks_issued += 1
         self._next_addr += block
+
+    def next_event(self) -> int | None:
+        if self._burst is None:
+            return self.cycle if self.bursts.can_pop() else None
+        if self._next_addr >= self._end_addr:
+            return self.cycle  # burst retires on the next tick
+        if not self.mem_req.can_push():
+            return None
+        indices_in_block = self.dram_config.access_bytes // self._burst.index_bytes
+        if self.credits_used + indices_in_block > self.credit_limit:
+            return None  # free_credits() wakes us
+        return self.cycle
+
+    def wake_fifos(self) -> tuple[list[Fifo], list[Fifo]]:
+        # Credits return through free_credits -> wake(), not a FIFO; the
+        # only FIFO activity that matters is burst arrival (commit) and
+        # downstream slots freeing up (pops on mem_req).
+        return [self.bursts, self.mem_req], []
 
     @property
     def busy(self) -> bool:

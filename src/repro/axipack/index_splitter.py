@@ -73,6 +73,30 @@ class IndexSplitter(Component):
         block_capacity = response.request.nbytes // burst.index_bytes
         self.fetcher.free_credits(block_capacity - len(indices))
 
+    def next_event(self) -> int | None:
+        if not self.idx_rsp.can_pop():
+            return None
+        response = self.idx_rsp.peek()
+        burst: IndirectBurst = response.request.payload
+        indices = self._valid_indices(response, burst)
+        lanes = self.config.lanes
+        per_lane = [0] * lanes
+        for k in range(len(indices)):
+            per_lane[(self._stream_pos + k) % lanes] += 1
+        if any(
+            not self.lane_queues[s].can_push(per_lane[s])
+            for s in range(lanes)
+            if per_lane[s]
+        ):
+            return None  # lane-queue pops (watched via ownership) wake us
+        return self.cycle
+
+    def wake_fifos(self) -> tuple[list[Fifo], list[Fifo]]:
+        # Wakes on index responses (commit) and on the request generator
+        # draining the lane queues (pops); its own staged pushes never
+        # change what its next tick can do.
+        return [*self.lane_queues, self.idx_rsp], []
+
     def _valid_indices(
         self, response: MemResponse, burst: IndirectBurst
     ) -> np.ndarray:

@@ -48,6 +48,17 @@ class ElementPacker(Component):
         self.emitted += needed
         self.beats += 1
 
+    def next_event(self) -> int | None:
+        if self.done:
+            return None
+        needed = min(self.config.lanes, self.burst.count - self.emitted)
+        if all(self.lane_out[s].can_pop() for s in range(needed)):
+            return self.cycle
+        return None
+
+    def watches(self) -> list[Fifo]:
+        return list(self.lane_out)
+
     @property
     def busy(self) -> bool:
         return not self.done

@@ -29,8 +29,8 @@ from ..mem.backing_store import BackingStore
 from ..mem.dram import DramChannel
 from ..mem.reorder import ReorderBuffer
 from ..mem.request import MemRequest, MemResponse
-from ..sim.clock import Simulator
-from ..sim.component import Component
+from ..sim.clock import Simulator, default_engine
+from ..sim.component import FAR_FUTURE, Component
 from ..sim.fifo import Fifo
 from ..sim.stats import StatSet
 from ..units import ceil_div
@@ -110,6 +110,11 @@ class WriteCoalescer(Component):
     def accept(self, request: NarrowRequest) -> None:
         self.request_queues[request.seq % self.cc.window].push(request)
         self._queued += 1
+
+    def accept_watches(self) -> list[Fifo]:
+        """FIFOs whose pops can turn ``can_accept`` true (see
+        :class:`~repro.axipack.element_request_gen.RequestSink`)."""
+        return list(self.request_queues)
 
     # -- main loop -----------------------------------------------------------
 
@@ -215,6 +220,58 @@ class WriteCoalescer(Component):
                     self._issue()
                     self.stats.add("watchdog_issues")
 
+    # -- batched-engine protocol ----------------------------------------------
+
+    def next_event(self) -> int | None:
+        cycle = self.cycle
+        if self.write_rsp.can_pop():
+            return cycle  # ack absorption pops every cycle
+        window = self._window
+        if window is not None and not window.exhausted:
+            # Watcher with pending misses: arming and issuing are
+            # immediate; blocked mid-window only a write_req pop can
+            # unblock us.
+            if self._tag is None or self._can_issue():
+                return cycle
+            if window.groups.get(self._tag):
+                return cycle  # absorbable hits for the open warp
+            return None
+        due = FAR_FUTURE
+        if self._warp and self._can_issue():
+            wd = self.cc.watchdog_timeout - 1 - self._watchdog_wait
+            due = cycle + wd if wd > 0 else cycle
+        if self._queued > 0:
+            if (
+                all(q.can_pop() for q in self.request_queues)
+                or self._regulator_wait >= self.cc.regulator_timeout
+            ):
+                return cycle
+            due = min(
+                due, cycle + self.cc.regulator_timeout - self._regulator_wait
+            )
+        return None if due >= FAR_FUTURE else due
+
+    def advance(self, cycles: int) -> None:
+        # Mirrors RequestCoalescer.advance: replay the two pure time
+        # counters the skipped no-op ticks would have moved.
+        window = self._window
+        if window is not None and not window.exhausted:
+            return
+        if self._warp:
+            self._watchdog_wait += cycles
+        if self._queued == 0:
+            self._regulator_wait = 0
+        elif self._regulator_wait < self.cc.regulator_timeout:
+            self._regulator_wait += cycles
+
+    def wake_fifos(self) -> tuple[list[Fifo], list[Fifo]]:
+        # accept() fills request_queues during the generator's tick and
+        # the regulator observes those accepts the same cycle, so the
+        # queues stay push-sensitive (as in the read coalescer).
+        return [*self.fifos, self.write_req, self.write_rsp], list(
+            self.request_queues
+        )
+
     @property
     def done(self) -> bool:
         if self._queued or self._warp:
@@ -232,6 +289,12 @@ class _Wiring(Component):
     def tick(self) -> None:
         pass
 
+    def next_event(self) -> int | None:
+        return None  # wiring FIFOs only, no behaviour
+
+    def wake_fifos(self) -> tuple[list[Fifo], list[Fifo]]:
+        return [], []
+
 
 def run_indirect_scatter(
     indices: np.ndarray,
@@ -240,9 +303,12 @@ def run_indirect_scatter(
     dram_config: DramConfig | None = None,
     verify: bool = True,
     max_cycles: int = 100_000_000,
+    engine: str | None = None,
 ) -> AdapterMetrics:
     """Scatter ``target[indices[j]] = values[j]`` through the cycle
-    model; verifies the final memory image against numpy semantics."""
+    model; verifies the final memory image against numpy semantics.
+    ``engine`` selects the step-wise or event-batched simulation engine
+    (both bit-exact; default :func:`~repro.sim.clock.default_engine`)."""
     config = config or AdapterConfig()
     dram_config = dram_config or DramConfig()
     if not config.has_coalescer:
@@ -289,7 +355,7 @@ def run_indirect_scatter(
     fetcher.bursts.push(burst)
 
     sim = Simulator([wiring, fetcher, splitter, gen, coalescer, arbiter,
-                     reorder, memory])
+                     reorder, memory], engine=engine or default_engine())
     cycles = sim.run_until(
         lambda: gen.done and coalescer.done, max_cycles=max_cycles
     )

@@ -24,7 +24,7 @@ from ..mem.backing_store import BackingStore
 from ..mem.dram import DramChannel
 from ..mem.reorder import ReorderBuffer
 from ..mem.request import MemRequest, MemResponse
-from ..sim.clock import Simulator
+from ..sim.clock import Simulator, default_engine
 from ..sim.component import Component
 from ..sim.fifo import Fifo
 from .arbiter import Arbiter
@@ -72,6 +72,12 @@ class _Wiring(Component):
 
     def tick(self) -> None:
         pass
+
+    def next_event(self) -> int | None:
+        return None
+
+    def wake_fifos(self) -> tuple[list[Fifo], list[Fifo]]:
+        return [], []
 
 
 class StridedRequestGen(Component):
@@ -132,6 +138,21 @@ class StridedRequestGen(Component):
                                            self._cursor))
             self._cursor += 1
 
+    def next_event(self) -> int | None:
+        if self.done:
+            return None
+        if self.ordered:
+            return self.cycle if self.sink.can_accept(self._cursor) else None
+        lanes = self.config.lanes
+        for lane in range(lanes):
+            seq = self._lane_counts[lane] * lanes + lane
+            if seq < self.burst.count and self.sink.can_accept(seq):
+                return self.cycle
+        return None
+
+    def watches(self) -> list:
+        return list(self.sink.accept_watches())
+
 
 def run_strided_stream(
     burst: StridedBurst | None = None,
@@ -141,8 +162,11 @@ def run_strided_stream(
     stride_bytes: int = 16,
     verify: bool = True,
     max_cycles: int = 100_000_000,
+    engine: str | None = None,
 ) -> AdapterMetrics:
-    """Stream a strided burst through the cycle-accurate element path."""
+    """Stream a strided burst through the cycle-accurate element path.
+    ``engine`` selects the step-wise or event-batched simulation engine
+    (both bit-exact; default :func:`~repro.sim.clock.default_engine`)."""
     config = config or AdapterConfig()
     dram_config = dram_config or DramConfig()
     if burst is None:
@@ -183,7 +207,8 @@ def run_strided_stream(
     )
     arbiter = Arbiter([elem_req], reorder.req)
 
-    sim = Simulator([container, gen, path, packer, arbiter, reorder, memory])
+    sim = Simulator([container, gen, path, packer, arbiter, reorder, memory],
+                    engine=engine or default_engine())
     cycles = sim.run_until(lambda: packer.done, max_cycles=max_cycles)
 
     if verify:

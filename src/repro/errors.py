@@ -26,6 +26,22 @@ class DeadlockError(SimulationError):
     than the configured deadlock horizon."""
 
 
+class BudgetExceededError(SimulationError):
+    """``run_until`` hit its ``max_cycles`` budget before ``done()``
+    held.  Deliberately *not* a :class:`DeadlockError`: the simulation
+    may still have been making progress — the budget was simply too
+    small — and conflating the two masks real hangs in test triage.
+    """
+
+    def __init__(self, cycles_elapsed: int, busy_components: list[str]):
+        self.cycles_elapsed = int(cycles_elapsed)
+        self.busy_components = list(busy_components)
+        super().__init__(
+            f"run_until exceeded its {self.cycles_elapsed}-cycle budget; "
+            f"busy components: {self.busy_components}"
+        )
+
+
 class ProtocolError(SimulationError):
     """A component violated a handshake or ordering protocol."""
 

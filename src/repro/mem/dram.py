@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..config import DramConfig
-from ..sim.component import Component
+from ..sim.component import FAR_FUTURE, Component
 from ..sim.fifo import Fifo
 from ..sim.stats import StatSet
 from .backing_store import BackingStore
@@ -76,10 +76,20 @@ class DramChannel(Component):
         self._bus_free_at = 0
         self._inflight: list[tuple[int, MemResponse]] = []
         self._pending: list = []
+        #: pending requests per bank (kept in lockstep with _pending) —
+        #: lets next_event bound the service horizon without walking
+        #: the queue.
+        self._bank_load = [0] * self.config.num_banks
         self._next_refresh_at = self.config.t_refi
         self._refresh_until = 0
         #: cycles during which a data beat occupied the bus.
         self.busy_bus_cycles = 0
+        #: scheduling-action counter (activates, column accesses,
+        #: refreshes, idle closes) and the count observed by the last
+        #: ``next_event`` call — used by the batched engine to tell
+        #: "the previous tick acted" from "the queue is quiescent".
+        self._acts = 0
+        self._acts_seen = -1
 
     # -- address mapping -------------------------------------------------
 
@@ -114,14 +124,17 @@ class DramChannel(Component):
                 bank.open_row = None
                 bank.ready_at = max(bank.ready_at, self._refresh_until)
             self.stats.add("refreshes")
+            self._acts += 1
 
     def _ingest(self) -> None:
         while self.req.can_pop() and len(self._pending) < self.config.queue_depth:
             request = self.req.pop()
             # Precompute the address decode once per request.
+            bank = self.bank_of(request.addr)
             self._pending.append(
-                (request.seq, self.bank_of(request.addr), self.row_of(request.addr), request)
+                (request.seq, bank, self.row_of(request.addr), request)
             )
+            self._bank_load[bank] += 1
 
     def _close_idle_rows(self) -> None:
         horizon = self.config.close_idle_cycles
@@ -131,6 +144,7 @@ class DramChannel(Component):
                 bank.open_row = None
                 bank.ready_at = max(bank.ready_at, cycle + self.config.t_rp)
                 self.stats.add("idle_closes")
+                self._acts += 1
 
     def _service(self) -> None:
         """One pass over the queue: find the oldest ready row hit for
@@ -179,8 +193,10 @@ class DramChannel(Component):
             if bank.open_row is not None:
                 act_start += config.t_rp
                 self.stats.add("row_conflicts")
+                self._acts += 1
             else:
                 self.stats.add("row_misses")
+                self._acts += 1
             bank.open_row = row
             bank.ready_at = act_start + config.t_rcd
             bank.next_act_at = act_start + config.t_rc
@@ -189,6 +205,7 @@ class DramChannel(Component):
         if not bus_free or best_hit_pos < 0:
             return
         _seq, bank_idx, _row, request = self._pending.pop(best_hit_pos)
+        self._bank_load[bank_idx] -= 1
         bank = banks[bank_idx]
         finish = cycle + config.t_cl + config.t_burst
         self._bus_free_at = cycle + config.t_burst
@@ -198,6 +215,7 @@ class DramChannel(Component):
 
         self._inflight.append((finish, self._serve(request, finish)))
         self.stats.add("transactions")
+        self._acts += 1
         self.stats.add("write_txns" if request.is_write else "read_txns")
         self.stats.add("bytes", request.nbytes)
 
@@ -221,6 +239,70 @@ class DramChannel(Component):
             else:
                 remaining.append((finish, response))
         self._inflight = remaining
+
+    # -- batched-engine protocol ---------------------------------------------
+
+    def next_event(self) -> int | None:
+        config = self.config
+        cycle = self.cycle
+        # Cheap early-outs first: while the channel is actively working
+        # (ingesting or just acted) it is due immediately and the full
+        # frozen-state scan below would be wasted.
+        if self.req.can_pop() and len(self._pending) < config.queue_depth:
+            return cycle
+        pending = bool(self._pending)
+        if pending:
+            acts = self._acts
+            if acts != self._acts_seen:
+                # The previous tick acted, so the frozen-state analysis
+                # below would be stale: tick again and re-evaluate.
+                self._acts_seen = acts
+                return cycle
+        due = FAR_FUTURE
+        if self._inflight:
+            finish = min(f for f, _ in self._inflight)
+            due = finish if finish > cycle else cycle
+        if config.t_refi > 0:
+            refresh = self._next_refresh_at
+            due = min(due, refresh if refresh > cycle else cycle)
+        horizon = config.close_idle_cycles
+        for bank in self._banks:
+            if bank.open_row is not None:
+                close_at = bank.last_use + horizon + 1
+                due = min(due, close_at if close_at > cycle else cycle)
+        if pending:
+            due = min(due, self._service_due())
+        return None if due >= FAR_FUTURE else due
+
+    def wake_fifos(self) -> tuple[list[Fifo], list[Fifo]]:
+        # rsp is unbounded and write-only from this side; req commits
+        # are the only FIFO activity that can change what tick does.
+        return [self.req], []
+
+    def _service_due(self) -> int:
+        """Lower bound on the earliest cycle at or after ``self.cycle``
+        at which :meth:`_service` could issue a column access or start a
+        bank preparation, with current state frozen.
+
+        Every service action on a bank happens at or after
+        ``max(base, bank.ready_at)``: preparations start exactly there,
+        column accesses additionally wait for the data bus.  So the min
+        of that bound over banks with pending work never lands *after* a
+        real action — the only direction that would lose events.
+        Undershooting (bus still busy, preparation suppressed by a
+        same-bank hit) merely re-ticks the channel a few extra cycles,
+        bounded by the bus burst time, which the step engine pays on
+        every one of those cycles anyway.
+        """
+        base = max(self.cycle, self._refresh_until)
+        banks = self._banks
+        ready = FAR_FUTURE
+        for bank_idx, load in enumerate(self._bank_load):
+            if load:
+                at = banks[bank_idx].ready_at
+                if at < ready:
+                    ready = at
+        return ready if ready > base else base
 
     # -- reporting -----------------------------------------------------------
 

@@ -7,7 +7,7 @@ effects, and as the "ideal" reference point in traffic experiments.
 from __future__ import annotations
 
 from ..config import DramConfig
-from ..sim.component import Component
+from ..sim.component import FAR_FUTURE, Component
 from ..sim.fifo import Fifo
 from ..sim.stats import StatSet
 from .backing_store import BackingStore
@@ -66,6 +66,21 @@ class IdealMemory(Component):
             else:
                 remaining.append((finish, response))
         self._inflight = remaining
+
+    def next_event(self) -> int | None:
+        due = FAR_FUTURE
+        if self._inflight:
+            finish = min(f for f, _ in self._inflight)
+            due = finish if finish > self.cycle else self.cycle
+        if self.req.can_pop():
+            issue_at = max(self.cycle, self._bus_free_at)
+            if issue_at < due:
+                due = issue_at
+        return None if due >= FAR_FUTURE else due
+
+    def wake_fifos(self) -> tuple[list[Fifo], list[Fifo]]:
+        # rsp is unbounded and write-only from this side.
+        return [self.req], []
 
     @property
     def busy(self) -> bool:

@@ -86,6 +86,23 @@ class MultiChannelMemory(Component):
             while channel.rsp.can_pop():
                 self.rsp.push(channel.rsp.pop())
 
+    def next_event(self) -> int | None:
+        if self.req.can_pop():
+            request = self.req.peek()
+            if self.channels[self.channel_of(request.addr)].req.can_push():
+                return self.cycle
+        if any(channel.rsp.can_pop() for channel in self.channels):
+            return self.cycle
+        return None
+
+    def wake_fifos(self) -> tuple[list[Fifo], list[Fifo]]:
+        # rsp is unbounded and write-only from this side; the channels'
+        # FIFOs gate routing (req capacity) and merging (rsp data).
+        any_op = [self.req]
+        any_op += [c.req for c in self.channels]
+        any_op += [c.rsp for c in self.channels]
+        return any_op, []
+
     @property
     def busy(self) -> bool:
         return any(c.busy for c in self.channels) or not self.req.is_empty

@@ -82,6 +82,28 @@ class ReorderBuffer(Component):
                 sink.push(waiting.pop(queue.popleft()))
                 self._inflight[axi_id] -= 1
 
+    def next_event(self) -> int | None:
+        if self.mem_rsp.can_pop():
+            return self.cycle
+        if self.req.can_pop() and self.mem_req.can_push():
+            request = self.req.peek()
+            if self._inflight.get(request.axi_id, 0) < self.max_inflight_per_id:
+                return self.cycle
+        for axi_id, queue in self._expected.items():
+            if (
+                queue
+                and queue[0] in self._waiting.get(axi_id, {})
+                and self._sink_for(axi_id).can_push()
+            ):
+                return self.cycle
+        return None
+
+    def wake_fifos(self) -> tuple[list[Fifo], list[Fifo]]:
+        sinks = list(self._sinks.values()) if self._sinks is not None else []
+        # Never reads pre-commit state: pushes into mem_req and the sinks
+        # are its own, so pops and commits are the only relevant wakes.
+        return [self.req, self.rsp, self.mem_req, self.mem_rsp, *sinks], []
+
     @property
     def busy(self) -> bool:
         return any(count > 0 for count in self._inflight.values()) or super().busy

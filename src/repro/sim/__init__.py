@@ -6,11 +6,26 @@ from and push into :class:`~repro.sim.fifo.Fifo` instances; pushes only
 become visible after the simulator commits the cycle.  This makes
 simulation results independent of the order in which components tick,
 mirroring how registered hardware samples its inputs on a clock edge.
+
+Two interchangeable engines drive the kernel: the per-cycle step engine
+(the oracle) and the event-batched engine in :mod:`repro.sim.batched`,
+selected by the ``engine`` knob on :class:`Simulator` (high-level
+runners default to :func:`default_engine`).
 """
 
-from .clock import Simulator
-from .component import Component
+from .batched import BatchedEngine
+from .clock import Simulator, default_engine
+from .component import Component, FAR_FUTURE
 from .fifo import Fifo
 from .stats import Counter, StatSet
 
-__all__ = ["Simulator", "Component", "Fifo", "Counter", "StatSet"]
+__all__ = [
+    "Simulator",
+    "BatchedEngine",
+    "Component",
+    "Fifo",
+    "Counter",
+    "StatSet",
+    "FAR_FUTURE",
+    "default_engine",
+]

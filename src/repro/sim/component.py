@@ -4,6 +4,11 @@ from __future__ import annotations
 
 from .fifo import Fifo
 
+#: horizon sentinel used by ``next_event`` implementations when folding
+#: several candidate due times with ``min``; any accumulated value at or
+#: beyond this means "no self-scheduled event" and maps to ``None``.
+FAR_FUTURE = 1 << 62
+
 
 class Component:
     """A clocked hardware block.
@@ -12,7 +17,19 @@ class Component:
     pop from input FIFOs and push into output FIFOs.  FIFOs owned by a
     component (created through :meth:`make_fifo` or registered with
     :meth:`adopt_fifo`) are committed automatically by the simulator.
+
+    Components may additionally implement the batched-engine protocol
+    (:meth:`next_event`, :meth:`advance`, :meth:`watches`) — see
+    :mod:`repro.sim.batched` and the two-engine contract in
+    ARCHITECTURE.md.  The defaults are always safe: a component that
+    does not override :meth:`next_event` is ticked every cycle by the
+    batched engine, exactly as under the step engine.
     """
+
+    #: batched-engine attachment; set by repro.sim.batched for the
+    #: duration of a batched run, None under the step engine.
+    _engine = None
+    _engine_pos = -1
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -46,6 +63,60 @@ class Component:
                 fifo.commit()
             self._dirty.clear()
         self.cycle += 1
+
+    # -- batched-engine protocol ----------------------------------------
+
+    def next_event(self) -> int | None:
+        """Earliest absolute cycle (``>= self.cycle``) at which
+        :meth:`tick` could act or mutate state, given current state.
+
+        Called by the batched engine immediately after this component's
+        tick, with ``self.cycle`` already advanced to the next cycle.
+        Return ``None`` to sleep until activity on an owned or watched
+        FIFO (or an explicit :meth:`wake`).  The default — "always due"
+        — degrades to per-cycle ticking and is safe for any component.
+        """
+        return self.cycle
+
+    def advance(self, cycles: int) -> None:
+        """Replay ``cycles`` guaranteed-no-op cycles of internal
+        bookkeeping (pure time counters such as watchdog waits).
+
+        The batched engine calls this before re-ticking a component it
+        skipped; the contract is that the skipped ticks would not have
+        touched FIFOs or any state other than what ``advance``
+        reproduces.  Default: nothing to replay.
+        """
+
+    def watches(self) -> list[Fifo]:
+        """FIFOs owned by *other* components whose activity must wake
+        this component under the batched engine (inputs it pops, remote
+        queues whose fill level gates its tick)."""
+        return []
+
+    def wake_fifos(self) -> tuple[list[Fifo], list[Fifo]]:
+        """``(any_op, push_sensitive)`` — the FIFOs this component must
+        be woken for under the batched engine.
+
+        ``any_op``: pops wake this component the same cycle (pops are
+        immediately visible) and commits wake it the next cycle (staged
+        pushes become poppable then).  ``push_sensitive`` (a subset):
+        *staged* pushes also wake it the same cycle — only needed when
+        the component observes a FIFO's pre-commit state, e.g. capacity
+        or an attribute updated alongside the push (the coalescers'
+        ``accept`` side channel).  The default — everything it owns or
+        watches, with every owned FIFO push-sensitive — is safe for any
+        component; overriding with tighter sets only saves wake-ups.
+        """
+        return [*self.fifos, *self.watches()], list(self.fifos)
+
+    def wake(self) -> None:
+        """Ask the batched engine to re-evaluate this component (for
+        non-FIFO input channels, e.g. credit returns).  No-op under the
+        step engine."""
+        engine = self._engine
+        if engine is not None:
+            engine.wake(self._engine_pos)
 
     @property
     def busy(self) -> bool:

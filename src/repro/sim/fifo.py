@@ -31,10 +31,6 @@ class Fifo(Generic[T]):
         Label used in error messages and statistics.
     """
 
-    #: global push/pop counter; the simulator's idle detector reads this
-    #: instead of walking every FIFO each cycle.
-    global_ops = 0
-
     def __init__(self, capacity: int | None, name: str = "fifo") -> None:
         if capacity is not None and capacity < 1:
             raise ValueError(f"{name}: capacity must be >= 1 or None")
@@ -45,9 +41,18 @@ class Fifo(Generic[T]):
         self.total_pushed = 0
         self.total_popped = 0
         self.max_occupancy = 0
+        #: push/pop counter cell.  A standalone FIFO gets its own cell;
+        #: the owning :class:`~repro.sim.clock.Simulator` rebinds it to a
+        #: cell shared by all of its FIFOs so the idle detector reads one
+        #: integer per cycle instead of walking every FIFO.
+        self._ops: list[int] = [0]
         #: owning component's dirty list (set by Component.make_fifo) so
         #: commits only visit FIFOs that actually staged pushes.
         self._dirty_sink: list["Fifo"] | None = None
+        #: batched-engine wake hook while a batched run is in progress:
+        #: ``(engine, any_op_waiters, push_waiters)`` position tuples,
+        #: else None (see repro.sim.batched).
+        self._wake: tuple[Any, tuple[int, ...], tuple[int, ...]] | None = None
 
     # -- producer side -------------------------------------------------
 
@@ -65,18 +70,32 @@ class Fifo(Generic[T]):
             self._dirty_sink.append(self)
         self._staged.append(item)
         self.total_pushed += 1
-        Fifo.global_ops += 1
+        self._ops[0] += 1
+        occupancy = len(self._committed) + len(self._staged)
+        if occupancy > self.max_occupancy:
+            self.max_occupancy = occupancy
+        wake = self._wake
+        if wake is not None and wake[2]:
+            wake[0].notify(wake[2])
 
     def push_many(self, items: Iterable[T]) -> None:
         """Stage several entries in order; all must fit."""
         items = list(items)
+        if not items:
+            return
         if not self.can_push(len(items)):
             raise ProtocolError(f"{self.name}: push_many overflows FIFO")
-        if items and not self._staged and self._dirty_sink is not None:
+        if not self._staged and self._dirty_sink is not None:
             self._dirty_sink.append(self)
         self._staged.extend(items)
         self.total_pushed += len(items)
-        Fifo.global_ops += len(items)
+        self._ops[0] += len(items)
+        occupancy = len(self._committed) + len(self._staged)
+        if occupancy > self.max_occupancy:
+            self.max_occupancy = occupancy
+        wake = self._wake
+        if wake is not None and wake[2]:
+            wake[0].notify(wake[2])
 
     # -- consumer side -------------------------------------------------
 
@@ -95,7 +114,10 @@ class Fifo(Generic[T]):
         if not self._committed:
             raise ProtocolError(f"{self.name}: pop on empty FIFO")
         self.total_popped += 1
-        Fifo.global_ops += 1
+        self._ops[0] += 1
+        wake = self._wake
+        if wake is not None and wake[1]:
+            wake[0].notify(wake[1])
         return self._committed.popleft()
 
     # -- simulator side ------------------------------------------------
@@ -106,8 +128,6 @@ class Fifo(Generic[T]):
         if self._staged:
             self._committed.extend(self._staged)
             self._staged.clear()
-        if len(self._committed) > self.max_occupancy:
-            self.max_occupancy = len(self._committed)
 
     # -- introspection ---------------------------------------------------
 

@@ -40,6 +40,7 @@ class PackSystem:
         dram: DramConfig | None = None,
         adapter_model: str = "fast",
         name: str | None = None,
+        engine: str | None = None,
     ) -> None:
         if isinstance(adapter, str):
             self.adapter_label = adapter
@@ -50,6 +51,9 @@ class PackSystem:
         if adapter_model not in ("fast", "cycle"):
             raise ExperimentError("adapter_model must be 'fast' or 'cycle'")
         self.adapter_model = adapter_model
+        #: simulation engine for ``adapter_model="cycle"`` runs
+        #: (``"step"``/``"batched"``; None = default_engine()).
+        self.engine = engine
         self.vpc = vpc or VpcConfig()
         self.dram = dram or DramConfig()
         self.ara = AraTimingModel(self.vpc)
@@ -67,7 +71,11 @@ class PackSystem:
         """Adapter metrics for the matrix's whole indirect stream."""
         if self.adapter_model == "cycle":
             return run_indirect_stream(
-                indices, self.adapter_config, self.dram, variant=self.adapter_label
+                indices,
+                self.adapter_config,
+                self.dram,
+                variant=self.adapter_label,
+                engine=self.engine,
             )
         return fast_indirect_stream(
             indices, self.adapter_config, self.dram, variant=self.adapter_label

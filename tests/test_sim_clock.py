@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import DeadlockError
+from repro.errors import BudgetExceededError, DeadlockError
 from repro.sim.clock import Simulator
 from repro.sim.component import Component
 
@@ -94,9 +94,39 @@ def test_idle_components_do_not_trigger_deadlock():
 
 
 def test_run_until_max_cycles_guard():
+    """A budget overrun is not a deadlock: it raises a distinct error
+    carrying the elapsed cycles and the busy component names."""
     sim = Simulator([Stuck("stuck")], deadlock_horizon=10**9)
-    with pytest.raises(DeadlockError):
+    with pytest.raises(BudgetExceededError) as excinfo:
         sim.run_until(lambda: False, max_cycles=100)
+    assert not isinstance(excinfo.value, DeadlockError)
+    assert excinfo.value.cycles_elapsed == 100
+    assert excinfo.value.busy_components == ["stuck"]
+    assert sim.cycle == 100
+
+
+def test_two_simulators_do_not_mask_idle_detection():
+    """Two live simulators in one process: constant FIFO traffic in one
+    must not reset the other's idle counter (the old class-level
+    Fifo.global_ops bug)."""
+    stuck_sim = Simulator([Stuck("stuck")], deadlock_horizon=50)
+
+    class Chatter(Component):
+        def __init__(self):
+            super().__init__("chatter")
+            self.loop = self.make_fifo(2, "loop")
+
+        def tick(self):
+            if self.loop.can_pop():
+                self.loop.pop()
+            if self.loop.can_push():
+                self.loop.push(0)
+
+    busy_sim = Simulator([Chatter()])
+    with pytest.raises(DeadlockError):
+        for _ in range(100):
+            busy_sim.step()  # interleaved activity elsewhere
+            stuck_sim.step()
 
 
 def test_add_component():

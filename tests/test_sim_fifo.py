@@ -108,10 +108,29 @@ def test_is_empty_accounts_staged():
     assert not fifo.is_empty
 
 
-def test_global_ops_counter_advances():
-    before = Fifo.global_ops
-    fifo = Fifo(4, "t")
+def test_ops_counter_is_per_instance():
+    """Activity tracking must not leak across FIFOs (it used to be a
+    class-level counter, which let two live simulators mask each
+    other's idle detection)."""
+    assert not hasattr(Fifo, "global_ops")
+    a = Fifo(4, "a")
+    b = Fifo(4, "b")
+    a.push(1)
+    a.commit()
+    a.pop()
+    assert a._ops[0] == 2
+    assert b._ops[0] == 0
+
+
+def test_max_occupancy_samples_staged_pushes():
+    """A staged-only spike (pushed then drained before any commit
+    merges it) must still register in max_occupancy."""
+    fifo = Fifo(8, "t")
     fifo.push(1)
     fifo.commit()
+    fifo.push_many([2, 3, 4])  # occupancy peaks at 1 committed + 3 staged
     fifo.pop()
-    assert Fifo.global_ops == before + 2
+    fifo.commit()
+    drain(fifo)
+    fifo.commit()
+    assert fifo.max_occupancy == 4
