@@ -13,6 +13,8 @@
     python -m repro stream pwtk MLP256    # one adapter run
     python -m repro sweep pwtk,hood MLP64,MLP256   # ad-hoc engine sweep
     python -m repro sweep pwtk ch1,ch2,ch4 --backend multichannel
+    python -m repro serve                 # long-lived sweep service (HTTP)
+    python -m repro serve --stdio         # same service over JSON lines
 
 Experiment, sweep and report commands accept engine flags:
 
@@ -36,6 +38,16 @@ counts, ``s<bytes>`` strides).
 ``--out PATH``    document to write (default ``EXPERIMENTS.md`` for
                   --quick/render/check, ``results/full/EXPERIMENTS.md``)
 ``--check``       flag form of the ``check`` subcommand
+
+``serve`` keeps one process pool and its per-worker analysis caches
+warm across requests (see ARCHITECTURE.md, "Sweep as a service"):
+
+``--host H --port P``  HTTP bind address (default 127.0.0.1:8787;
+                       port 0 binds an ephemeral port and prints it)
+``--stdio``            JSON-lines over stdin/stdout instead of HTTP
+``--cache N``          response-cache slots (default 128)
+``--workers/--shards/--store``  as above (``--store`` names the result
+                       store served as the experiment response cache)
 
 Bare ``report`` means ``report run``.  Environment knobs
 ``REPRO_SCALE_NNZ``, ``REPRO_ADAPTER_MODEL``, ``REPRO_WORKERS`` and
@@ -302,9 +314,69 @@ def _cmd_sweep(matrices: str, variants: str, opts: _Options) -> int:
     print(
         f"engine: {stats['groups']} groups, {stats['tasks']} tasks, "
         f"cache {stats['cache_hits']} hits / {stats['cache_misses']} misses "
+        f"/ {stats['cache_evictions']} evictions "
         f"(workers={executor.workers}, shards={executor.shards})"
     )
     return 0
+
+
+def _cmd_serve(args: list[str]) -> int:
+    """Long-lived sweep service (its own flag grammar: --port etc.)."""
+    from .serve import JobManager, serve_http, serve_stdio
+
+    def integer(flag: str, value: str, minimum: int) -> int:
+        try:
+            number = int(value)
+        except ValueError:
+            raise ReproError(f"{flag} needs an integer, got {value!r}") from None
+        if number < minimum:
+            raise ReproError(f"{flag} must be >= {minimum}")
+        return number
+
+    host, port, stdio, verbose = "127.0.0.1", 8787, False, False
+    workers: int | None = None
+    shards: int | str | None = None
+    store: str | None = None
+    cache = 128
+    it = iter(args)
+    for arg in it:
+        if arg == "--stdio":
+            stdio = True
+            continue
+        if arg == "--verbose":
+            verbose = True
+            continue
+        if arg not in ("--host", "--port", "--workers", "--shards", "--store", "--cache"):
+            raise ReproError(f"serve does not understand {arg!r}")
+        try:
+            value = next(it)
+        except StopIteration:
+            raise ReproError(f"{arg} needs a value") from None
+        if arg == "--host":
+            host = value
+        elif arg == "--store":
+            store = value
+        elif arg == "--port":
+            port = integer(arg, value, 0)
+        elif arg == "--workers":
+            workers = integer(arg, value, 1)
+        elif arg == "--cache":
+            cache = integer(arg, value, 1)
+        elif arg == "--shards":
+            shards = "auto" if value == "auto" else integer(arg, value, 1)
+
+    manager = JobManager(
+        executor=SweepExecutor(workers, shards=shards),
+        store_dir=store,
+        cache_size=cache,
+    )
+    if stdio:
+        try:
+            serve_stdio(manager)
+        finally:
+            manager.close()
+        return 0
+    return serve_http(manager, host=host, port=port, verbose=verbose)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -317,6 +389,9 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     command, *rest = argv
     try:
+        if command == "serve":
+            # serve owns its flag grammar (--port/--host/--stdio/...).
+            return _cmd_serve(rest)
         args, opts = _parse_flags(rest)
         if command in ("suite", *_RUNNERS) and args:
             # Catches stray positionals and single-dash typos such as

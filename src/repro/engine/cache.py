@@ -54,15 +54,20 @@ class AnalysisCache:
         self._analyses: dict[tuple, StreamAnalysis] = {}
         self._layouts: dict[tuple, dict] = {}
         #: lookup counters (every stream/analysis/layout_stats call is
-        #: one hit or one miss); the executor snapshots these around
+        #: one hit or one miss, and every insert into a full artifact
+        #: family is one eviction); the executor snapshots these around
         #: each shard task and surfaces the totals in run stats and the
-        #: report manifest.
+        #: report manifest, so a long-lived server can watch cache
+        #: pressure build as the matrix working set outgrows
+        #: ``maxsize``.
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def _put(self, store: dict, key: tuple, value) -> None:
         if len(store) >= self.maxsize:
             store.pop(next(iter(store)))
+            self.evictions += 1
         store[key] = value
 
     def _count(self, store: dict, key: tuple) -> bool:
@@ -74,8 +79,12 @@ class AnalysisCache:
         return present
 
     def counters(self) -> dict[str, int]:
-        """Current ``{"hits": …, "misses": …}`` lookup totals."""
-        return {"hits": self.hits, "misses": self.misses}
+        """Current ``{"hits": …, "misses": …, "evictions": …}`` totals."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
 
     def matrix(self, name: str, max_nnz: int) -> CsrMatrix:
         """The scaled suite matrix.

@@ -58,3 +58,10 @@ class SparseFormatError(ReproError):
 class ExperimentError(ReproError):
     """An experiment harness was asked to run an unknown or inconsistent
     configuration."""
+
+
+class ServeError(ReproError):
+    """A malformed or unsupported request reached the sweep service
+    (:mod:`repro.serve`) — unknown command, bad field type, unknown
+    knob.  Server loops turn it into an error response instead of a
+    crash."""

@@ -137,34 +137,39 @@ def run_report(
         f"shards={config['shards']})",
         file=stream,
     )
-    for name in names:
-        t0 = time.time()
-        stats_before = dict(executor.stats)
-        result = RUNNERS[name](**_runner_kwargs(name, config, executor))
-        results[name] = result
-        store.write_table(name, result["rows"])
-        recorded[name] = {
-            "rows": len(result["rows"]),
-            # The sweep backends this experiment runs on — declared by
-            # the runner, unioned with any `kind` column its rows kept
-            # (empty for paramless experiments).  Part of the drift-
-            # checked identity, so silently rerouting an experiment
-            # onto a different backend fails `report check`.
-            "backends": sorted(
-                set(result.get("backends", ()))
-                | {row["kind"] for row in result["rows"] if "kind" in row}
-            ),
-            "summary": result["summary"],
-        }
-        delta = {
-            key: executor.stats[key] - stats_before[key] for key in executor.stats
-        }
-        print(
-            f"  {name}: {len(result['rows'])} rows, {delta['tasks']} tasks, "
-            f"cache {delta['cache_hits']}/{delta['cache_misses']} hit/miss "
-            f"[{time.time() - t0:.1f}s]",
-            file=stream,
-        )
+    try:
+        for name in names:
+            t0 = time.time()
+            stats_before = dict(executor.stats)
+            result = RUNNERS[name](**_runner_kwargs(name, config, executor))
+            results[name] = result
+            store.write_table(name, result["rows"])
+            recorded[name] = {
+                "rows": len(result["rows"]),
+                # The sweep backends this experiment runs on — declared by
+                # the runner, unioned with any `kind` column its rows kept
+                # (empty for paramless experiments).  Part of the drift-
+                # checked identity, so silently rerouting an experiment
+                # onto a different backend fails `report check`.
+                "backends": sorted(
+                    set(result.get("backends", ()))
+                    | {row["kind"] for row in result["rows"] if "kind" in row}
+                ),
+                "summary": result["summary"],
+            }
+            delta = {
+                key: executor.stats[key] - stats_before[key]
+                for key in executor.stats
+            }
+            print(
+                f"  {name}: {len(result['rows'])} rows, {delta['tasks']} tasks, "
+                f"cache {delta['cache_hits']}/{delta['cache_misses']} hit/miss "
+                f"[{time.time() - t0:.1f}s]",
+                file=stream,
+            )
+    finally:
+        # The persistent pool belongs to this run; release its workers.
+        executor.close()
 
     store.write_table("claims", claim_verdicts(results))
     manifest = dict(config)
@@ -173,6 +178,7 @@ def run_report(
     manifest["cache"] = {
         "hits": executor.stats["cache_hits"],
         "misses": executor.stats["cache_misses"],
+        "evictions": executor.stats["cache_evictions"],
     }
     store.write_manifest(manifest)
 

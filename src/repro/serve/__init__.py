@@ -1,0 +1,40 @@
+"""Sweep-as-a-service: the warm-path executor behind a server.
+
+``python -m repro serve`` keeps one persistent
+:class:`~repro.engine.executor.SweepExecutor` — its process pool and
+each worker's :class:`~repro.engine.cache.AnalysisCache` — warm across
+requests, instead of paying a cold CLI start (interpreter + imports +
+pool spawn + per-matrix analysis) per sweep.  The layers:
+
+* :mod:`repro.serve.protocol` — request canonicalization and job
+  keys: field order and defaulted knobs never split identical jobs.
+* :mod:`repro.serve.jobs` — :class:`JobManager`: bounded response
+  cache → committed-store read → single-flight coalescing → engine.
+* :mod:`repro.serve.server` — the HTTP (NDJSON-streaming) and
+  stdin/JSON-lines front ends.
+
+``benchmarks/bench_serve.py`` gates the point of it all: a warm
+repeated request must be ≥10× faster than a cold CLI invocation, with
+served rows byte-identical to a serial :class:`SweepExecutor` run.
+"""
+
+from .jobs import JobManager
+from .protocol import (
+    ExperimentRequest,
+    SweepRequest,
+    canonicalize,
+    json_default,
+)
+from .server import ReproServer, serve_http, serve_stdio, service_stats
+
+__all__ = [
+    "JobManager",
+    "SweepRequest",
+    "ExperimentRequest",
+    "canonicalize",
+    "json_default",
+    "ReproServer",
+    "serve_http",
+    "serve_stdio",
+    "service_stats",
+]

@@ -1,0 +1,245 @@
+"""Request canonicalization and the job-key contract.
+
+Every request the sweep service accepts is a JSON object with a
+``cmd`` discriminator:
+
+* ``{"cmd": "sweep", "matrices": [...], "variants": [...], ...}`` —
+  an ad-hoc engine sweep through any registered backend kind (the
+  JSON twin of ``python -m repro sweep``);
+* ``{"cmd": "experiment", "name": "fig3", "quick": true}`` — one
+  registered experiment runner, servable straight from the committed
+  result store when the store manifest matches the resolved
+  configuration.
+
+:func:`canonicalize` turns such a payload into a frozen request
+object: defaults are filled in, list fields become tuples, comma
+strings are split, and unknown fields are rejected with
+:class:`~repro.errors.ServeError`.  The point is the **job key**
+(:attr:`SweepRequest.job_key`): two payloads that differ only in JSON
+field order or in spelling out a defaulted knob canonicalize to the
+*same* key, and the key is built from exactly the identity the engine
+already dedups on — a sweep key is the set of
+:attr:`~repro.engine.points.SweepPoint.row_key` inputs (kind,
+matrices, variants, formats, scale, model), an experiment key is the
+identity subset of the store manifest (name, scale, model, matrices).
+Single-flight dedup and the response cache (:mod:`repro.serve.jobs`)
+both hang off this key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine import grid_points, registered_kinds
+from ..errors import ServeError
+from ..experiments.common import QUICK_MATRICES, QUICK_NNZ
+from ..report.runner import PARAMLESS, RUNNERS
+from ..sparse.suite import DEFAULT_MAX_NNZ
+
+#: Backend kinds whose grids take a traversal-format axis; for any
+#: other kind a ``formats`` field is rejected rather than silently
+#: ignored (it would split otherwise-identical job keys).
+KINDS_WITH_FORMATS = ("adapter", "multichannel", "scatter")
+
+_SWEEP_FIELDS = frozenset(
+    {"cmd", "kind", "matrices", "variants", "formats", "max_nnz", "model", "quick"}
+)
+_EXPERIMENT_FIELDS = frozenset(
+    {"cmd", "name", "matrices", "max_nnz", "model", "quick"}
+)
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """A canonical ad-hoc sweep: one grid through one backend kind."""
+
+    kind: str
+    matrices: tuple[str, ...]
+    variants: tuple[str, ...]
+    formats: tuple[str, ...]
+    max_nnz: int
+    model: str
+
+    @property
+    def job_key(self) -> tuple:
+        return (
+            "sweep", self.kind, self.matrices, self.variants, self.formats,
+            self.max_nnz, self.model,
+        )
+
+    def points(self) -> list:
+        """The request's grid, built through the backend registry."""
+        kwargs: dict = {"max_nnz": self.max_nnz, "model": self.model}
+        if self.formats:
+            kwargs["formats"] = self.formats
+        return grid_points(self.kind, self.matrices, self.variants, **kwargs)
+
+
+@dataclass(frozen=True)
+class ExperimentRequest:
+    """A canonical experiment-runner request (one figure/table)."""
+
+    name: str
+    scale_nnz: int
+    model: str
+    matrices: tuple[str, ...] | None
+
+    @property
+    def paramless(self) -> bool:
+        return self.name in PARAMLESS
+
+    @property
+    def job_key(self) -> tuple:
+        if self.paramless:
+            return ("experiment", self.name)
+        return ("experiment", self.name, self.scale_nnz, self.model, self.matrices)
+
+    def runner_kwargs(self) -> dict:
+        if self.paramless:
+            return {}
+        kwargs: dict = {"max_nnz": self.scale_nnz, "model": self.model}
+        if self.matrices is not None:
+            kwargs["matrices"] = self.matrices
+        return kwargs
+
+
+Request = SweepRequest | ExperimentRequest
+
+
+def _str_tuple(payload: dict, field: str, default=None) -> tuple[str, ...] | None:
+    """A tuple-of-names field: list/tuple of strings, or one
+    comma-separated string (the CLI's spelling, handy under curl)."""
+    if field not in payload:
+        return default
+    value = payload[field]
+    if isinstance(value, str):
+        value = [part for part in value.split(",") if part]
+    if not isinstance(value, (list, tuple)) or not value or not all(
+        isinstance(item, str) and item for item in value
+    ):
+        raise ServeError(f"{field} must be a non-empty list of names")
+    return tuple(value)
+
+
+def _int_field(payload: dict, field: str, default=None, minimum: int = 1):
+    if field not in payload:
+        return default
+    value = payload[field]
+    # bool is an int subclass; reject it explicitly.
+    if isinstance(value, bool) or not isinstance(value, int) or value < minimum:
+        raise ServeError(f"{field} must be an integer >= {minimum}")
+    return value
+
+
+def _bool_field(payload: dict, field: str) -> bool:
+    value = payload.get(field, False)
+    if not isinstance(value, bool):
+        raise ServeError(f"{field} must be a boolean")
+    return value
+
+
+def _model_field(payload: dict) -> str:
+    model = payload.get("model", "fast")
+    if model not in ("fast", "cycle"):
+        raise ServeError(f"unknown adapter model {model!r}; expected fast or cycle")
+    return model
+
+
+def _check_fields(payload: dict, allowed: frozenset) -> None:
+    unknown = sorted(set(payload) - allowed)
+    if unknown:
+        raise ServeError(
+            f"unknown request fields {unknown}; allowed: {sorted(allowed)}"
+        )
+
+
+def canonicalize(payload) -> Request:
+    """Validate a request payload into its canonical frozen form.
+
+    Raises :class:`~repro.errors.ServeError` on anything malformed.
+    Canonicalization is *total* on the job identity: every knob that
+    affects the result is resolved here (defaults included), so two
+    requests that would compute the same rows share one
+    :attr:`~SweepRequest.job_key`.
+    """
+    if not isinstance(payload, dict):
+        raise ServeError("request must be a JSON object")
+    cmd = payload.get("cmd", "sweep")
+    if cmd == "sweep":
+        return _canonicalize_sweep(payload)
+    if cmd == "experiment":
+        return _canonicalize_experiment(payload)
+    raise ServeError(f"unknown cmd {cmd!r}; expected sweep or experiment")
+
+
+def _canonicalize_sweep(payload: dict) -> SweepRequest:
+    _check_fields(payload, _SWEEP_FIELDS)
+    kind = payload.get("kind", "adapter")
+    if kind not in registered_kinds():
+        raise ServeError(
+            f"unknown sweep backend {kind!r}; "
+            f"registered: {', '.join(registered_kinds())}"
+        )
+    matrices = _str_tuple(payload, "matrices")
+    variants = _str_tuple(payload, "variants")
+    if matrices is None or variants is None:
+        raise ServeError("sweep requests need matrices and variants")
+    if kind in KINDS_WITH_FORMATS:
+        formats = _str_tuple(payload, "formats", default=("sell",))
+    elif "formats" in payload:
+        raise ServeError(f"formats does not apply to kind {kind!r}")
+    else:
+        formats = ()
+    quick = _bool_field(payload, "quick")
+    max_nnz = _int_field(
+        payload, "max_nnz",
+        default=QUICK_NNZ if quick else DEFAULT_MAX_NNZ, minimum=1000,
+    )
+    return SweepRequest(
+        kind=kind, matrices=matrices, variants=variants, formats=formats,
+        max_nnz=max_nnz, model=_model_field(payload),
+    )
+
+
+def _canonicalize_experiment(payload: dict) -> ExperimentRequest:
+    _check_fields(payload, _EXPERIMENT_FIELDS)
+    name = payload.get("name")
+    if name not in RUNNERS:
+        raise ServeError(
+            f"unknown experiment {name!r}; registered: {', '.join(RUNNERS)}"
+        )
+    quick = _bool_field(payload, "quick")
+    if name in PARAMLESS:
+        if any(field in payload for field in ("matrices", "max_nnz")) or quick:
+            raise ServeError(f"{name} has no matrix grid; scale knobs do not apply")
+        # model/scale slots are fixed for paramless runners; they are
+        # excluded from the job key.
+        return ExperimentRequest(
+            name=name, scale_nnz=0, model="fast", matrices=None
+        )
+    matrices = _str_tuple(
+        payload, "matrices", default=QUICK_MATRICES if quick else None
+    )
+    scale = _int_field(
+        payload, "max_nnz",
+        default=QUICK_NNZ if quick else DEFAULT_MAX_NNZ, minimum=1000,
+    )
+    return ExperimentRequest(
+        name=name, scale_nnz=scale, model=_model_field(payload),
+        matrices=matrices,
+    )
+
+
+def json_default(value):
+    """``json.dumps(..., default=json_default)`` hook for engine rows —
+    NumPy scalars (and arrays, defensively) serialise as their Python
+    equivalents so streamed rows round-trip as plain JSON numbers."""
+    import numpy as np
+
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON serialisable: {type(value).__name__}")

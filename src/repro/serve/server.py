@@ -1,0 +1,202 @@
+"""The long-lived sweep service: HTTP and stdin/JSON-lines front ends.
+
+Both front ends speak the same NDJSON event stream over one
+:class:`~repro.serve.jobs.JobManager`:
+
+* **HTTP** (``python -m repro serve``) — a
+  :class:`http.server.ThreadingHTTPServer`.  ``POST /sweep`` and
+  ``POST /experiment`` take a JSON request body (the ``cmd`` field
+  defaults from the path) and answer with one JSON object per line:
+  ``accepted`` → ``rows`` chunks (streamed as matrix groups complete)
+  → ``done``.  ``GET /healthz`` and ``GET /stats`` are JSON probes.
+  The response is written incrementally and the connection closed to
+  delimit it (HTTP/1.0 semantics), so a curl reader sees rows as they
+  are computed.
+* **stdio** (``python -m repro serve --stdio``) — one JSON request
+  per stdin line, the same events on stdout; ``{"cmd": "shutdown"}``
+  ends the loop.  This is the deterministic harness the tests drive.
+
+Errors in either front end become ``{"event": "error", ...}``
+responses (HTTP status 400 for malformed requests, 500 for
+computation failures); the server survives them.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..errors import ReproError, ServeError
+from .jobs import JobManager
+from .protocol import json_default
+
+
+def _dumps(event: dict) -> bytes:
+    return (json.dumps(event, default=json_default) + "\n").encode()
+
+
+class ReproRequestHandler(BaseHTTPRequestHandler):
+    """One NDJSON-streaming handler per connection (threaded server)."""
+
+    server_version = "repro-serve"
+    # HTTP/1.0 + connection close delimits the streamed body; no
+    # chunked framing needed and curl still renders lines as they come.
+    protocol_version = "HTTP/1.0"
+
+    @property
+    def manager(self) -> JobManager:
+        return self.server.manager  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.verbose:  # type: ignore[attr-defined]
+            sys.stderr.write(
+                f"{self.address_string()} - {format % args}\n"
+            )
+
+    def _respond_json(self, status: int, payload: dict) -> None:
+        body = _dumps(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:
+        if self.path == "/healthz":
+            self._respond_json(200, {"ok": True})
+        elif self.path == "/stats":
+            self._respond_json(200, service_stats(self.manager))
+        else:
+            self._respond_json(404, {"event": "error", "error": f"no route {self.path}"})
+
+    def do_POST(self) -> None:
+        if self.path not in ("/sweep", "/experiment", "/job"):
+            self._respond_json(404, {"event": "error", "error": f"no route {self.path}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, json.JSONDecodeError):
+            self._respond_json(400, {"event": "error", "error": "body must be JSON"})
+            return
+        if isinstance(payload, dict) and self.path != "/job":
+            payload.setdefault("cmd", self.path[1:])
+        try:
+            events = self.manager.stream(payload)
+            first = next(events)
+        except ServeError as exc:
+            self._respond_json(400, {"event": "error", "error": str(exc)})
+            return
+        except ReproError as exc:
+            self._respond_json(500, {"event": "error", "error": str(exc)})
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.end_headers()
+        try:
+            self.wfile.write(_dumps(first))
+            self.wfile.flush()
+            for event in events:
+                self.wfile.write(_dumps(event))
+                self.wfile.flush()
+        except ReproError as exc:
+            # Headers are gone; the error becomes the stream's last event.
+            self.wfile.write(_dumps({"event": "error", "error": str(exc)}))
+
+
+class ReproServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer bound to one :class:`JobManager`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, manager: JobManager, verbose: bool = False):
+        super().__init__(address, ReproRequestHandler)
+        self.manager = manager
+        self.verbose = verbose
+
+
+def service_stats(manager: JobManager) -> dict:
+    """The ``/stats`` payload: job layers + engine totals."""
+    return {
+        "jobs": dict(manager.stats),
+        "engine": dict(manager.executor.stats),
+        "engine_last": dict(manager.executor.last_stats),
+        "workers": manager.executor.workers,
+        "shards": manager.executor.shards,
+        "response_cache_size": manager.cache_size,
+    }
+
+
+def serve_stdio(manager: JobManager, inp=None, out=None) -> int:
+    """JSON-lines loop: one request per line, NDJSON events out.
+
+    Returns the number of requests served.  ``{"cmd": "shutdown"}``
+    (or EOF) ends the loop after a ``bye`` event.
+    """
+    inp = sys.stdin if inp is None else inp
+    out = sys.stdout if out is None else out
+
+    def emit(event: dict) -> None:
+        out.write(_dumps(event).decode())
+        out.flush()
+
+    served = 0
+    for line in inp:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            emit({"event": "error", "error": f"bad JSON: {exc}"})
+            continue
+        if isinstance(payload, dict) and payload.get("cmd") == "shutdown":
+            emit({"event": "bye", "served": served})
+            break
+        try:
+            for event in manager.stream(payload):
+                emit(event)
+            served += 1
+        except ReproError as exc:
+            emit({"event": "error", "error": str(exc)})
+    return served
+
+
+def serve_http(
+    manager: JobManager,
+    host: str = "127.0.0.1",
+    port: int = 8787,
+    stream=None,
+    verbose: bool = False,
+) -> int:
+    """Run the HTTP front end until SIGTERM/SIGINT; returns 0 on a
+    clean shutdown.
+
+    Prints ``serving on http://HOST:PORT`` once bound (``--port 0``
+    binds an ephemeral port and this line is how callers learn it).
+    """
+    stream = sys.stdout if stream is None else stream
+    server = ReproServer((host, port), manager, verbose=verbose)
+
+    def _terminate(signum, frame):
+        # serve_forever() is blocked in its poll loop on this same
+        # thread; raising unwinds it so the finally below runs and the
+        # process exits 0 — calling server.shutdown() here would
+        # deadlock (it joins the loop the handler interrupted).
+        raise SystemExit(0)
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
+    try:
+        bound_host, bound_port = server.server_address[:2]
+        print(f"serving on http://{bound_host}:{bound_port}", file=stream)
+        stream.flush()
+        server.serve_forever(poll_interval=0.1)
+    except (KeyboardInterrupt, SystemExit):
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        server.server_close()
+        manager.close()
+    return 0

@@ -163,3 +163,72 @@ class TestCacheBound:
         rebuilt = cache.stream("pwtk", "sell", TINY)
         assert rebuilt is not first
         assert (rebuilt == first).all()
+
+    def test_evictions_are_counted(self):
+        cache = AnalysisCache(maxsize=2)
+        for matrix in ("pwtk", "msc01440", "G3_circuit"):
+            cache.stream(matrix, "sell", TINY)
+        counters = cache.counters()
+        assert counters["evictions"] == 1
+        assert set(counters) == {"hits", "misses", "evictions"}
+
+
+class TestPersistentPool:
+    """The executor is a reusable resource: one pool across runs."""
+
+    def points(self):
+        return adapter_grid(("msc01440",), ("MLPnc", "MLP64"), max_nnz=TINY)
+
+    def test_pool_survives_across_runs(self):
+        executor = SweepExecutor(workers=2, shards=2)
+        try:
+            first = executor.run(self.points())
+            pool = executor._pool
+            assert pool is not None
+            second = executor.run(self.points())
+            assert executor._pool is pool, "pool was respawned between runs"
+            assert executor.stats["pool_spawns"] == 1
+            assert first == second
+        finally:
+            executor.close()
+        assert executor._pool is None
+
+    def test_close_is_idempotent_and_respawns_on_demand(self):
+        executor = SweepExecutor(workers=2, shards=2)
+        first = executor.run(self.points())
+        executor.close()
+        executor.close()
+        # A closed executor is still usable; the next run respawns.
+        assert executor.run(self.points()) == first
+        assert executor.stats["pool_spawns"] == 2
+        executor.close()
+
+    def test_context_manager_releases_the_pool(self):
+        with SweepExecutor(workers=2, shards=2) as executor:
+            executor.run(self.points())
+            assert executor._pool is not None
+        assert executor._pool is None
+
+    def test_serial_executor_never_spawns(self):
+        executor = SweepExecutor(workers=1)
+        executor.run(self.points())
+        assert executor._pool is None
+        assert executor.stats["pool_spawns"] == 0
+
+    def test_last_stats_include_eviction_counter(self):
+        executor = SweepExecutor(workers=1)
+        executor.run(self.points())
+        stats = executor.last_stats
+        assert {"cache_hits", "cache_misses", "cache_evictions"} <= set(stats)
+
+    def test_run_stream_covers_all_groups(self):
+        executor = SweepExecutor(workers=1)
+        points = adapter_grid(("msc01440", "pwtk"), ("MLP64",), max_nnz=TINY)
+        streamed = list(executor.run_stream(points))
+        assert {key[1] for key, _, _ in streamed} == {"msc01440", "pwtk"}
+        rows = [row for _, _, group_rows in streamed for row in group_rows]
+        assert sorted(r["matrix"] for r in rows) == ["msc01440", "pwtk"]
+        # run() reassembles the same rows in input order.
+        assert executor.run(points) == sorted(
+            rows, key=lambda r: [p.matrix for p in points].index(r["matrix"])
+        )

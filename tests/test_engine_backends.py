@@ -209,12 +209,12 @@ class TestChunkedCacheKeys:
 
     def test_counters_track_hits_and_misses(self):
         cache = AnalysisCache()
-        assert cache.counters() == {"hits": 0, "misses": 0}
+        assert cache.counters() == {"hits": 0, "misses": 0, "evictions": 0}
         cache.stream("pwtk", "sell", TINY)
         misses = cache.counters()["misses"]
         assert misses >= 1
         cache.stream("pwtk", "sell", TINY)
-        assert cache.counters() == {"hits": 1, "misses": misses}
+        assert cache.counters() == {"hits": 1, "misses": misses, "evictions": 0}
 
 
 class TestBackendValidation:

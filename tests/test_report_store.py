@@ -234,7 +234,7 @@ class TestRunAndRender:
     def test_manifest_records_shards_backends_and_cache(self, tmp_path):
         _, _, manifest = fast_run(tmp_path, "a", workers=2, shards="auto")
         assert manifest["shards"] == 2  # auto resolves to the workers
-        assert set(manifest["cache"]) == {"hits", "misses"}
+        assert set(manifest["cache"]) == {"hits", "misses", "evictions"}
         # paramless experiments never touch the engine
         assert manifest["experiments"]["fig6a"]["backends"] == []
         assert manifest["experiments"]["table1"]["backends"] == []

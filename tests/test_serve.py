@@ -1,0 +1,407 @@
+"""The sweep service: protocol, single-flight, caching, front ends.
+
+Canonicalization is property-tested (field order and spelled-out
+defaults never split a job key), single-flight dedup is pinned under
+real concurrent identical requests, and both front ends (stdio JSON
+lines, HTTP NDJSON) are driven end-to-end.  The headline regression:
+rows served through the warm path are byte-identical to a serial
+``SweepExecutor`` run.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import SweepExecutor, adapter_grid
+from repro.errors import ExperimentError, ServeError
+from repro.experiments.common import QUICK_MATRICES, QUICK_NNZ
+from repro.report.store import ResultStore
+from repro.serve import (
+    JobManager,
+    ReproServer,
+    canonicalize,
+    serve_stdio,
+)
+from repro.sparse.suite import DEFAULT_MAX_NNZ
+
+TINY = 12_000
+SWEEP_REQ = {
+    "cmd": "sweep",
+    "matrices": ["msc01440"],
+    "variants": ["MLPnc", "MLP64"],
+    "max_nnz": TINY,
+}
+
+
+def serial_manager() -> JobManager:
+    return JobManager(executor=SweepExecutor(workers=1))
+
+
+class TestCanonicalize:
+    def test_defaults_fill_in(self):
+        req = canonicalize({"matrices": ["pwtk"], "variants": ["MLP64"]})
+        assert req.kind == "adapter"
+        assert req.formats == ("sell",)
+        assert req.max_nnz == DEFAULT_MAX_NNZ
+        assert req.model == "fast"
+
+    def test_comma_strings_match_lists(self):
+        a = canonicalize({"matrices": "pwtk,hood", "variants": "MLP64,MLP256"})
+        b = canonicalize({"matrices": ["pwtk", "hood"], "variants": ["MLP64", "MLP256"]})
+        assert a.job_key == b.job_key
+
+    def test_quick_resolves_scale_but_explicit_nnz_wins(self):
+        quick = canonicalize({"matrices": ["pwtk"], "variants": ["MLP64"], "quick": True})
+        assert quick.max_nnz == QUICK_NNZ
+        explicit = canonicalize(
+            {"matrices": ["pwtk"], "variants": ["MLP64"], "quick": True, "max_nnz": 24_000}
+        )
+        assert explicit.max_nnz == 24_000
+
+    # The satellite property: two requests that differ only in field
+    # order or in spelling out defaulted knobs map to the same job key.
+    @settings(max_examples=60, deadline=None)
+    @given(
+        data=st.data(),
+        spell_out=st.sets(
+            st.sampled_from(["cmd", "kind", "formats", "model", "max_nnz", "quick"])
+        ),
+    )
+    def test_field_order_and_defaults_never_split_keys(self, data, spell_out):
+        base = {"matrices": ["pwtk", "hood"], "variants": ["MLPnc", "MLP256"]}
+        defaults = {
+            "cmd": "sweep",
+            "kind": "adapter",
+            "formats": ["sell"],
+            "model": "fast",
+            "max_nnz": DEFAULT_MAX_NNZ,
+            "quick": False,
+        }
+        payload = dict(base)
+        for field in spell_out:
+            payload[field] = defaults[field]
+        shuffled_keys = data.draw(st.permutations(list(payload)))
+        shuffled = {key: payload[key] for key in shuffled_keys}
+        assert canonicalize(shuffled).job_key == canonicalize(base).job_key
+
+    @pytest.mark.parametrize(
+        "payload,fragment",
+        [
+            ({"matrices": ["pwtk"]}, "matrices and variants"),
+            ({"matrices": ["pwtk"], "variants": ["MLP64"], "bogus": 1}, "unknown request fields"),
+            ({"cmd": "frobnicate"}, "unknown cmd"),
+            ({"matrices": ["pwtk"], "variants": ["x"], "kind": "nope"}, "unknown sweep backend"),
+            ({"matrices": ["pwtk"], "variants": ["x"], "model": "rtl"}, "unknown adapter model"),
+            ({"matrices": ["pwtk"], "variants": ["x"], "max_nnz": 10}, ">= 1000"),
+            ({"matrices": ["pwtk"], "variants": ["x"], "max_nnz": True}, ">= 1000"),
+            ({"matrices": ["pwtk"], "variants": ["x"], "quick": "yes"}, "boolean"),
+            ({"matrices": [], "variants": ["x"]}, "non-empty list"),
+            ({"kind": "system", "matrices": ["pwtk"], "variants": ["base"], "formats": ["sell"]},
+             "does not apply"),
+            ({"cmd": "experiment", "name": "fig99"}, "unknown experiment"),
+            ({"cmd": "experiment", "name": "fig6a", "quick": True}, "no matrix grid"),
+            ("not a dict", "JSON object"),
+        ],
+    )
+    def test_malformed_requests_are_rejected(self, payload, fragment):
+        with pytest.raises(ServeError, match=fragment):
+            canonicalize(payload)
+
+    def test_experiment_quick_matches_committed_identity(self):
+        req = canonicalize({"cmd": "experiment", "name": "fig3", "quick": True})
+        assert req.scale_nnz == QUICK_NNZ
+        assert req.matrices == QUICK_MATRICES
+
+    def test_paramless_experiment_key_ignores_scale_slots(self):
+        assert canonicalize({"cmd": "experiment", "name": "fig6a"}).job_key == (
+            "experiment", "fig6a",
+        )
+
+
+class TestServedRowsByteIdentical:
+    def test_served_equals_serial_and_pooled(self):
+        """Satellite regression: serial == pooled == served, byte-identical."""
+        points = adapter_grid(("msc01440", "pwtk"), ("MLPnc", "MLP64"), max_nnz=TINY)
+        serial = SweepExecutor(workers=1).run(points)
+        with SweepExecutor(workers=2, shards="auto") as pooled_exec:
+            pooled = pooled_exec.run(points)
+        served = serial_manager().submit(
+            {"cmd": "sweep", "matrices": ["msc01440", "pwtk"],
+             "variants": ["MLPnc", "MLP64"], "max_nnz": TINY}
+        )
+        # Served chunks arrive per matrix group; reassemble in point order.
+        by_key = {(row["matrix"], row["variant"]): row for row in served["rows"]}
+        reassembled = [by_key[(p.matrix, p.variant)] for p in points]
+        assert reassembled == serial == pooled
+
+    def test_streamed_chunks_cover_rows_exactly_once(self):
+        manager = serial_manager()
+        events = list(manager.stream(SWEEP_REQ))
+        assert events[0]["event"] == "accepted"
+        assert events[-1]["event"] == "done"
+        chunks = [e for e in events if e["event"] == "rows"]
+        rows = [row for chunk in chunks for row in chunk["rows"]]
+        assert events[-1]["row_count"] == len(rows) == 2
+
+
+class TestResponseCache:
+    def test_repeat_request_hits_cache(self):
+        manager = serial_manager()
+        first = manager.submit(SWEEP_REQ)
+        second = manager.submit(SWEEP_REQ)
+        assert first["source"] == "computed"
+        assert second["source"] == "cache"
+        assert first["rows"] == second["rows"]
+        assert manager.stats["computed"] == 1
+        assert manager.stats["response_hits"] == 1
+
+    def test_returned_rows_are_copies(self):
+        manager = serial_manager()
+        manager.submit(SWEEP_REQ)["rows"][0]["cycles"] = -1
+        assert manager.submit(SWEEP_REQ)["rows"][0]["cycles"] != -1
+
+    def test_cache_is_bounded_lru(self, monkeypatch):
+        manager = JobManager(executor=SweepExecutor(workers=1), cache_size=2)
+        monkeypatch.setattr(
+            JobManager, "_compute_chunks", lambda self, request: iter([[{"ok": 1}]])
+        )
+        for variant in ("MLP8", "MLP16", "MLP32"):
+            manager.submit({"matrices": ["pwtk"], "variants": [variant]})
+        assert manager.stats["response_evictions"] == 1
+        # Oldest key recomputes, newest two still hit.
+        assert manager.submit({"matrices": ["pwtk"], "variants": ["MLP8"]})["source"] == "computed"
+        assert manager.submit({"matrices": ["pwtk"], "variants": ["MLP32"]})["source"] == "cache"
+
+    def test_rejects_zero_cache(self):
+        with pytest.raises(ExperimentError):
+            JobManager(executor=SweepExecutor(workers=1), cache_size=0)
+
+
+class TestSingleFlight:
+    def _race(self, manager: JobManager, payload: dict, threads: int):
+        results: list[dict] = [None] * threads  # type: ignore[list-item]
+        errors: list[BaseException] = []
+
+        def worker(slot: int) -> None:
+            try:
+                results[slot] = manager.submit(payload)
+            except BaseException as exc:  # noqa: BLE001 - collected for asserts
+                errors.append(exc)
+
+        pool = [threading.Thread(target=worker, args=(i,)) for i in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        return results, errors
+
+    @staticmethod
+    def _release_once_coalesced(manager: JobManager, release: threading.Event, count: int):
+        """Unblock the leader only after `count` followers have piled on,
+        so no thread can arrive late and hit the response cache instead."""
+
+        def waiter() -> None:
+            deadline = time.monotonic() + 10
+            while manager.stats["coalesced"] < count and time.monotonic() < deadline:
+                time.sleep(0.005)
+            release.set()
+
+        threading.Thread(target=waiter, daemon=True).start()
+
+    def test_concurrent_identical_requests_compute_once(self, monkeypatch):
+        manager = serial_manager()
+        release = threading.Event()
+        calls = []
+
+        def slow_compute(self, request):
+            calls.append(request.job_key)
+            release.wait(timeout=10)
+            yield [{"matrix": "pwtk", "variant": "MLP64", "cycles": 7}]
+
+        monkeypatch.setattr(JobManager, "_compute_chunks", slow_compute)
+        self._release_once_coalesced(manager, release, count=5)
+        results, errors = self._race(
+            manager, {"matrices": ["pwtk"], "variants": ["MLP64"]}, threads=6
+        )
+        assert not errors
+        assert len(calls) == 1, "duplicate in-flight requests recomputed"
+        assert {tuple(sorted(r["rows"][0].items())) for r in results} == {
+            (("cycles", 7), ("matrix", "pwtk"), ("variant", "MLP64"))
+        }
+        sources = sorted(r["source"] for r in results)
+        assert sources.count("computed") == 1
+        assert sources.count("coalesced") == 5
+        assert manager.stats["coalesced"] == 5
+        assert not manager._inflight
+
+    def test_leader_failure_propagates_to_followers(self, monkeypatch):
+        manager = serial_manager()
+        release = threading.Event()
+
+        def failing_compute(self, request):
+            release.wait(timeout=10)
+            raise ExperimentError("synthetic failure")
+            yield  # pragma: no cover - makes this a generator
+
+        monkeypatch.setattr(JobManager, "_compute_chunks", failing_compute)
+        self._release_once_coalesced(manager, release, count=2)
+        results, errors = self._race(
+            manager, {"matrices": ["pwtk"], "variants": ["MLP64"]}, threads=3
+        )
+        assert all(r is None for r in results)
+        assert len(errors) == 3
+        assert all(isinstance(e, ExperimentError) for e in errors)
+        assert not manager._inflight  # failed key fully retired
+        # The key is not poisoned: a later request computes fresh.
+        monkeypatch.setattr(
+            JobManager, "_compute_chunks", lambda self, request: iter([[{"ok": 1}]])
+        )
+        assert manager.submit({"matrices": ["pwtk"], "variants": ["MLP64"]})[
+            "source"
+        ] == "computed"
+
+
+class TestStoreBacked:
+    """The committed results/store/ acts as the experiment response
+    cache: a request matching the manifest is a disk read."""
+
+    def test_quick_experiment_serves_from_committed_store(self):
+        manager = serial_manager()
+        result = manager.submit({"cmd": "experiment", "name": "fig3", "quick": True})
+        assert result["source"] == "store"
+        assert result["rows"] == ResultStore("results/store").read_table("fig3")
+        assert manager.submit({"cmd": "experiment", "name": "fig3", "quick": True})[
+            "source"
+        ] == "cache"
+
+    def test_paramless_experiment_serves_from_store(self):
+        result = serial_manager().submit({"cmd": "experiment", "name": "fig6a"})
+        assert result["source"] == "store"
+        assert len(result["rows"]) == 3
+
+    def test_mismatched_identity_skips_the_store(self):
+        manager = serial_manager()
+        for payload in (
+            {"cmd": "experiment", "name": "fig3", "quick": True, "model": "cycle"},
+            {"cmd": "experiment", "name": "fig3", "quick": True, "max_nnz": 24_000},
+            {"cmd": "experiment", "name": "fig3"},  # full scale
+        ):
+            assert manager._store_lookup(canonicalize(payload)) is None
+
+    def test_missing_store_is_not_an_error(self, tmp_path):
+        manager = JobManager(
+            executor=SweepExecutor(workers=1), store_dir=tmp_path / "nope"
+        )
+        req = canonicalize({"cmd": "experiment", "name": "fig6a"})
+        assert manager._store_lookup(req) is None
+
+
+class TestStdioFrontEnd:
+    def run_lines(self, manager: JobManager, *lines: str):
+        out = io.StringIO()
+        serve_stdio(manager, io.StringIO("\n".join(lines) + "\n"), out)
+        return [json.loads(line) for line in out.getvalue().splitlines()]
+
+    def test_request_bad_json_and_shutdown(self):
+        events = self.run_lines(
+            serial_manager(),
+            json.dumps(SWEEP_REQ),
+            "{this is not json",
+            json.dumps({"matrices": ["pwtk"]}),  # missing variants
+            json.dumps({"cmd": "shutdown"}),
+        )
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "accepted" and "rows" in kinds
+        done = next(e for e in events if e["event"] == "done")
+        assert done["source"] == "computed" and done["row_count"] == 2
+        error_events = [e for e in events if e["event"] == "error"]
+        assert len(error_events) == 2  # bad JSON, then bad request
+        assert "bad JSON" in error_events[0]["error"]
+        assert events[-1] == {"event": "bye", "served": 1}
+
+
+class TestHttpFrontEnd:
+    @pytest.fixture()
+    def server(self):
+        manager = serial_manager()
+        server = ReproServer(("127.0.0.1", 0), manager)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server
+        server.shutdown()
+        server.server_close()
+        manager.close()
+
+    def _post(self, server, path: str, payload: dict) -> list[dict]:
+        port = server.server_address[1]
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}{path}",
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request) as response:
+            assert response.headers["Content-Type"] == "application/x-ndjson"
+            return [json.loads(line) for line in response.read().decode().splitlines()]
+
+    def _get(self, server, path: str):
+        port = server.server_address[1]
+        with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}") as response:
+            return json.loads(response.read().decode())
+
+    def test_sweep_round_trip_second_is_cache_hit(self, server):
+        first = self._post(server, "/sweep", SWEEP_REQ)
+        second = self._post(server, "/sweep", SWEEP_REQ)
+        assert first[-1]["event"] == "done" and first[-1]["source"] == "computed"
+        assert second[-1]["source"] == "cache"
+        rows = [row for e in first if e["event"] == "rows" for row in e["rows"]]
+        cached = [row for e in second if e["event"] == "rows" for row in e["rows"]]
+        assert rows == cached  # JSON round trip preserves every cell
+
+    def test_path_supplies_the_cmd(self, server):
+        events = self._post(server, "/experiment", {"name": "fig6a"})
+        assert events[-1]["source"] in ("store", "computed")
+
+    def test_probes_and_errors(self, server):
+        assert self._get(server, "/healthz") == {"ok": True}
+        stats = self._get(server, "/stats")
+        assert {"jobs", "engine", "workers"} <= set(stats)
+        with pytest.raises(urllib.error.HTTPError) as bad:
+            self._post(server, "/sweep", {"matrices": ["pwtk"]})
+        assert bad.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as missing:
+            self._post(server, "/nope", {})
+        assert missing.value.code == 404
+        assert self._get(server, "/stats")["jobs"]["errors"] >= 1
+
+
+class TestServeCli:
+    def test_serve_flag_validation(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["serve", "--port", "nope"]) == 1
+        assert "integer" in capsys.readouterr().err
+        assert main(["serve", "--workers", "0"]) == 1
+        assert ">= 1" in capsys.readouterr().err
+        assert main(["serve", "--frobnicate"]) == 1
+        assert "serve does not understand" in capsys.readouterr().err
+
+    def test_serve_stdio_end_to_end(self, monkeypatch, capsys):
+        from repro.__main__ import main
+
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO(json.dumps(SWEEP_REQ) + "\n" + '{"cmd": "shutdown"}\n'),
+        )
+        assert main(["serve", "--stdio", "--workers", "1"]) == 0
+        lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert lines[0]["event"] == "accepted"
+        assert lines[-1]["event"] == "bye"

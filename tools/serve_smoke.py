@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""CI smoke test for the sweep service.
+
+Starts ``python -m repro serve`` on an ephemeral port, posts the same
+quick-scale sweep twice, asserts the second response is answered by
+the response cache, then sends SIGTERM and requires a clean exit (code
+0).  This exercises the pieces the in-process tests cannot: the real
+subprocess lifecycle, the bound socket, and the signal handler.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python tools/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+STARTUP_TIMEOUT_S = 30
+SHUTDOWN_TIMEOUT_S = 10
+SWEEP = {
+    "matrices": "msc01440,pwtk",
+    "variants": "MLPnc,MLP64",
+    "max_nnz": 12_000,
+}
+
+
+def post_ndjson(port: int, path: str, payload: dict) -> list[dict]:
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return [json.loads(line) for line in response.read().decode().splitlines()]
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", "--workers", "1"],
+        cwd=REPO_ROOT, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    try:
+        line = server.stdout.readline()
+        match = re.search(r"serving on http://[\w.]+:(\d+)", line)
+        if not match:
+            raise AssertionError(f"no bind line from server, got {line!r}")
+        port = int(match.group(1))
+        deadline = time.monotonic() + STARTUP_TIMEOUT_S
+        while True:
+            try:
+                with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/healthz", timeout=5
+                ) as response:
+                    assert json.loads(response.read()) == {"ok": True}
+                break
+            except OSError:
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.2)
+
+        first = post_ndjson(port, "/sweep", SWEEP)
+        second = post_ndjson(port, "/sweep", SWEEP)
+        done_first = first[-1]
+        done_second = second[-1]
+        assert done_first["event"] == "done", first
+        assert done_first["source"] == "computed", done_first
+        assert done_first["row_count"] == 4, done_first
+        assert done_second["source"] == "cache", done_second
+        rows = [r for e in first if e["event"] == "rows" for r in e["rows"]]
+        cached = [r for e in second if e["event"] == "rows" for r in e["rows"]]
+        assert rows and sorted(rows, key=str) == sorted(cached, key=str)
+
+        server.send_signal(signal.SIGTERM)
+        code = server.wait(timeout=SHUTDOWN_TIMEOUT_S)
+        assert code == 0, f"server exited {code}; stderr: {server.stderr.read()}"
+        print(f"serve smoke OK: computed -> cache ({len(rows)} rows), clean SIGTERM exit")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
