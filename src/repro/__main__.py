@@ -15,6 +15,12 @@
     python -m repro sweep pwtk ch1,ch2,ch4 --backend multichannel
     python -m repro serve                 # long-lived sweep service (HTTP)
     python -m repro serve --stdio         # same service over JSON lines
+    python -m repro corpus list           # registered matrix corpora
+    python -m repro corpus run --quick    # resumable corpus sweep (offline)
+    python -m repro corpus run --full     # regenerate the committed
+                                          #   results/full/ corpus tier
+    python -m repro corpus check          # re-run the committed corpus
+                                          #   tier, exit 1 on drift
 
 Experiment, sweep and report commands accept engine flags:
 
@@ -48,6 +54,27 @@ warm across requests (see ARCHITECTURE.md, "Sweep as a service"):
 ``--cache N``          response-cache slots (default 128)
 ``--workers/--shards/--store``  as above (``--store`` names the result
                        store served as the experiment response cache)
+
+``corpus`` sweeps a declared matrix corpus resumably (own grammar):
+
+``list [NAME]``        registered corpora, or one corpus's entries
+``run``                sweep a corpus; with ``--store`` (or ``--full``)
+                       each completed matrix group is journaled and a
+                       re-invocation resumes, skipping completed groups
+``check``              re-run the committed corpus tier offline and
+                       byte-compare every ``corpus_*`` file
+``--corpus NAME``      a registered corpus (``quick``/``builtin``/
+                       ``full``/``suitesparse-demo``) or a JSON manifest path
+``--full``             corpus ``full`` into ``results/full`` with
+                       corpus-claim scoring (the committed tier)
+``--kind K``           sweep backend: adapter (default), multichannel,
+                       scatter
+``--variants A,B``     variant list (default MLPnc,MLP64,MLP256,SEQ256)
+``--cache DIR``        fast-load cache directory (default
+                       ``results/corpus_cache`` or REPRO_CORPUS_CACHE)
+``--offline/--fetch``  offline is the default: only cached/local
+                       matrices; ``--fetch`` allows downloads
+``--keep-going``       record failed entries and continue
 
 Bare ``report`` means ``report run``.  Environment knobs
 ``REPRO_SCALE_NNZ``, ``REPRO_ADAPTER_MODEL``, ``REPRO_WORKERS`` and
@@ -379,6 +406,171 @@ def _cmd_serve(args: list[str]) -> int:
     return serve_http(manager, host=host, port=port, verbose=verbose)
 
 
+def _cmd_corpus(args: list[str]) -> int:
+    """Resumable corpus sweeps (own flag grammar, like serve)."""
+    from .corpus import (
+        CORPUS_KINDS,
+        DEFAULT_VARIANTS,
+        CorpusRunner,
+        check_corpus,
+    )
+    from .experiments.common import QUICK_NNZ
+    from .report import FULL_STORE_DIR
+    from .sparse.corpus import MatrixCache, corpus_names, get_corpus
+    from .sparse.suite import DEFAULT_MAX_NNZ
+
+    def integer(flag: str, value: str, minimum: int) -> int:
+        try:
+            number = int(value)
+        except ValueError:
+            raise ReproError(f"{flag} needs an integer, got {value!r}") from None
+        if number < minimum:
+            raise ReproError(f"{flag} must be >= {minimum}")
+        return number
+
+    modes = ("list", "run", "check")
+    positional: list[str] = []
+    corpus_name: str | None = None
+    store: str | None = None
+    cache_dir: str | None = None
+    kind = "adapter"
+    variants: str | None = None
+    fmt = "sell"
+    nnz: int | None = None
+    model = "fast"
+    workers: int | None = None
+    shards: int | str | None = None
+    full = quick = fetch = keep_going = False
+    it = iter(args)
+    for arg in it:
+        if arg == "--full":
+            full = True
+        elif arg == "--quick":
+            quick = True
+        elif arg == "--offline":
+            fetch = False
+        elif arg == "--fetch":
+            fetch = True
+        elif arg == "--keep-going":
+            keep_going = True
+        elif arg in (
+            "--corpus", "--store", "--cache", "--kind", "--variants",
+            "--fmt", "--nnz", "--model", "--workers", "--shards",
+        ):
+            try:
+                value = next(it)
+            except StopIteration:
+                raise ReproError(f"{arg} needs a value") from None
+            if arg == "--corpus":
+                corpus_name = value
+            elif arg == "--store":
+                store = value
+            elif arg == "--cache":
+                cache_dir = value
+            elif arg == "--kind":
+                if value not in CORPUS_KINDS:
+                    raise ReproError(
+                        f"corpus sweeps support kinds "
+                        f"{', '.join(CORPUS_KINDS)}, not {value!r}"
+                    )
+                kind = value
+            elif arg == "--variants":
+                variants = value
+            elif arg == "--fmt":
+                fmt = value
+            elif arg == "--nnz":
+                nnz = integer(arg, value, 1000)
+            elif arg == "--model":
+                if value not in ("fast", "cycle"):
+                    raise ReproError(f"unknown adapter model {value!r}")
+                model = value
+            elif arg == "--workers":
+                workers = integer(arg, value, 1)
+            elif arg == "--shards":
+                shards = "auto" if value == "auto" else integer(arg, value, 1)
+        elif arg.startswith("--"):
+            raise ReproError(f"corpus does not understand {arg!r}")
+        else:
+            positional.append(arg)
+    if not positional or positional[0] not in modes:
+        raise ReproError(f"corpus takes one of {'/'.join(modes)}, got {positional}")
+    mode, *positional = positional
+    if full and quick:
+        raise ReproError("--full and --quick are mutually exclusive")
+
+    cache = MatrixCache(cache_dir) if cache_dir else MatrixCache()
+    if mode == "list":
+        if positional or corpus_name:
+            corpus = get_corpus(positional[0] if positional else corpus_name)
+            print(format_table([
+                {
+                    "name": e.name, "family": e.family, "source": e.source,
+                    "where": e.path or e.url or "generator",
+                }
+                for e in corpus.entries
+            ]))
+        else:
+            print(format_table([
+                {"corpus": name, "entries": len(get_corpus(name).entries)}
+                for name in corpus_names()
+            ]))
+        return 0
+
+    if mode == "check":
+        if positional:
+            raise ReproError(f"corpus check takes no positionals: {positional}")
+        drift = check_corpus(
+            Path(store) if store else FULL_STORE_DIR,
+            cache=cache,
+            executor=SweepExecutor(workers, shards=shards),
+            stream=sys.stdout,
+        )
+        for line in drift:
+            print(f"DRIFT: {line}")
+        print("corpus tier matches a fresh run" if not drift
+              else f"{len(drift)} corpus file(s) drifted")
+        return 1 if drift else 0
+
+    if positional:
+        raise ReproError(f"corpus run takes no positionals: {positional}")
+    if full:
+        corpus_name = corpus_name or "full"
+        store = store or str(FULL_STORE_DIR)
+    corpus = get_corpus(corpus_name or "quick")
+    runner = CorpusRunner(
+        corpus,
+        executor=SweepExecutor(workers, shards=shards),
+        store_dir=store,
+        cache=cache,
+        kind=kind,
+        variants=tuple(variants.split(",")) if variants else DEFAULT_VARIANTS,
+        fmt=fmt,
+        max_nnz=nnz or (QUICK_NNZ if quick else DEFAULT_MAX_NNZ),
+        model=model,
+        offline=not fetch,
+        keep_going=keep_going,
+        claims=full,
+        stream=sys.stdout,
+    )
+    result = runner.run()
+    print()
+    print(format_table(result["rollup"]))
+    if "claims" in result:
+        print()
+        print(format_table(result["claims"]))
+    stats = runner.executor.stats
+    print(
+        "corpus: {corpus_groups} groups — {corpus_computed} computed, "
+        "{corpus_skipped} skipped, {corpus_failed} failed".format(**{
+            k: stats.get(k, 0) for k in (
+                "corpus_groups", "corpus_computed",
+                "corpus_skipped", "corpus_failed",
+            )
+        })
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv:
@@ -392,6 +584,9 @@ def main(argv: list[str] | None = None) -> int:
         if command == "serve":
             # serve owns its flag grammar (--port/--host/--stdio/...).
             return _cmd_serve(rest)
+        if command == "corpus":
+            # corpus owns its flag grammar too (--corpus/--fetch/...).
+            return _cmd_corpus(rest)
         args, opts = _parse_flags(rest)
         if command in ("suite", *_RUNNERS) and args:
             # Catches stray positionals and single-dash typos such as

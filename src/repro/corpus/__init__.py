@@ -1,0 +1,29 @@
+"""Resumable corpus sweeps over SuiteSparse-scale matrix sets.
+
+The manifest/cache/ingestion side lives in :mod:`repro.sparse.corpus`;
+this package adds the execution side: :class:`CorpusRunner` streams a
+corpus through the sweep engine one matrix group at a time, journals
+each completed group to the result store, and resumes an interrupted
+run by skipping every journaled group — byte-identically to an
+uninterrupted run.
+"""
+
+from .runner import (
+    CORPUS_KINDS,
+    CORPUS_MANIFEST_NAME,
+    DEFAULT_VARIANTS,
+    CorpusRunner,
+    InjectedFault,
+    check_corpus,
+    fault_hook_from_env,
+)
+
+__all__ = [
+    "CORPUS_KINDS",
+    "CORPUS_MANIFEST_NAME",
+    "DEFAULT_VARIANTS",
+    "CorpusRunner",
+    "InjectedFault",
+    "check_corpus",
+    "fault_hook_from_env",
+]

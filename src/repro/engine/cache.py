@@ -24,6 +24,7 @@ import numpy as np
 
 from ..axipack.fastmodel import StreamAnalysis, analyze_stream
 from ..axipack.streams import matrix_index_stream
+from ..sparse import corpus as corpus_io
 from ..sparse.csr import CsrMatrix
 from ..sparse.suite import get_matrix
 
@@ -53,6 +54,7 @@ class AnalysisCache:
         self._streams: dict[tuple, np.ndarray] = {}
         self._analyses: dict[tuple, StreamAnalysis] = {}
         self._layouts: dict[tuple, dict] = {}
+        self._matrices: dict[tuple, CsrMatrix] = {}
         #: lookup counters (every stream/analysis/layout_stats call is
         #: one hit or one miss, and every insert into a full artifact
         #: family is one eviction); the executor snapshots these around
@@ -87,13 +89,20 @@ class AnalysisCache:
         }
 
     def matrix(self, name: str, max_nnz: int) -> CsrMatrix:
-        """The scaled suite matrix.
+        """The scaled suite matrix, or a cached corpus artifact.
 
-        Delegates to :func:`repro.sparse.suite.get_matrix`, which is
-        itself ``lru_cache``-memoised — this method exists so callers
-        of the cache never need a second import for the one artifact
-        memoised upstream.
+        Suite names delegate to :func:`repro.sparse.suite.get_matrix`,
+        which is itself ``lru_cache``-memoised.  ``corpus:<path>``
+        names (see :mod:`repro.sparse.corpus`) load the checksummed
+        fast-load artifact once per cache instance — ``max_nnz`` is
+        ignored for them (the file *is* the scale), which is why corpus
+        sweep points carry ``max_nnz=0``.
         """
+        if corpus_io.is_corpus_name(name):
+            key = (name,)
+            if not self._count(self._matrices, key):
+                self._put(self._matrices, key, corpus_io.load_corpus_name(name))
+            return self._matrices[key]
         return get_matrix(name, max_nnz)
 
     def stream(
@@ -180,3 +189,4 @@ class AnalysisCache:
         self._streams.clear()
         self._analyses.clear()
         self._layouts.clear()
+        self._matrices.clear()

@@ -382,3 +382,17 @@ class SweepExecutor:
             for variant, row in zip(variants, rows):
                 by_key[(*key, variant)] = row
         return [dict(by_key[point.row_key]) for point in points]
+
+    def add_stats(self, **counters: int) -> None:
+        """Fold externally tallied counters into the run statistics.
+
+        Drivers that orchestrate *around* the executor — the corpus
+        runner tallies groups skipped via the store manifest versus
+        computed versus failed — report their counters here so a single
+        ``last_stats``/``stats`` read shows the whole run.  Each
+        counter adds to both the last-run snapshot and the accumulated
+        totals, creating the key when first seen.
+        """
+        for key, value in counters.items():
+            self.last_stats[key] = self.last_stats.get(key, 0) + int(value)
+            self.stats[key] = self.stats.get(key, 0) + int(value)

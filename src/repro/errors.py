@@ -55,6 +55,12 @@ class SparseFormatError(ReproError):
     its format."""
 
 
+class CorpusError(ReproError):
+    """A corpus entry could not be resolved: missing or corrupt cache
+    artifact, a fetch attempted in offline mode, an unknown corpus or
+    malformed corpus manifest (:mod:`repro.sparse.corpus`)."""
+
+
 class ExperimentError(ReproError):
     """An experiment harness was asked to run an unknown or inconsistent
     configuration."""

@@ -66,11 +66,56 @@ PAPER_CLAIMS: tuple[PaperClaim, ...] = (
 )
 
 
+#: Full-scale corpus-tier claims: the fig3 headline aggregates, restated
+#: over the whole synthetic suite (every generator recipe at full
+#: scale, not the three-matrix quick canary) with the tighter
+#: tolerances appropriate to the larger sample.  The committed
+#: ``results/full/`` tier stores these as ``corpus_claims.csv``.
+CORPUS_CLAIMS: tuple[PaperClaim, ...] = (
+    PaperClaim("corpus", "mlp256_boost_geomean", 8.4, 0.30),
+    PaperClaim("corpus", "seq256_boost_vs_nc_geomean", 2.9, 0.35),
+    PaperClaim("corpus", "mlp256_vs_seq256_geomean", 3.0, 0.30),
+)
+
+
 def claim_tolerances() -> dict[str, float]:
     """``"experiment.metric" -> rel_tol`` map, recorded in the manifest."""
     return {
         f"{claim.experiment}.{claim.metric}": claim.rel_tol
         for claim in PAPER_CLAIMS
+    }
+
+
+def corpus_claim_tolerances() -> dict[str, float]:
+    """Corpus-tier tolerances, recorded in the corpus manifest."""
+    return {
+        f"{claim.experiment}.{claim.metric}": claim.rel_tol
+        for claim in CORPUS_CLAIMS
+    }
+
+
+def _verdict_row(claim: PaperClaim, measured) -> dict:
+    """One verdict row: measured vs paper under the claim's tolerance."""
+    if isinstance(measured, (int, float)):
+        rel_err = (
+            abs(measured - claim.paper) / abs(claim.paper)
+            if claim.paper
+            else abs(measured - claim.paper)
+        )
+        rel_err = round(rel_err, 4)
+        verdict = "pass" if rel_err <= claim.rel_tol else "fail"
+    else:
+        measured = "n/a"
+        rel_err = "n/a"
+        verdict = "missing"
+    return {
+        "experiment": claim.experiment,
+        "metric": claim.metric,
+        "paper": claim.paper,
+        "measured": measured,
+        "rel_err": rel_err,
+        "rel_tol": claim.rel_tol,
+        "verdict": verdict,
     }
 
 
@@ -83,33 +128,24 @@ def claim_verdicts(results: dict[str, dict]) -> list[dict]:
     ``missing``; the rest get ``pass``/``fail`` against the claim's
     relative tolerance.
     """
-    rows = []
-    for claim in PAPER_CLAIMS:
-        summary = results.get(claim.experiment, {}).get("summary", {})
-        measured = summary.get(claim.metric, "n/a")
-        if isinstance(measured, (int, float)):
-            rel_err = (
-                abs(measured - claim.paper) / abs(claim.paper)
-                if claim.paper
-                else abs(measured - claim.paper)
-            )
-            rel_err = round(rel_err, 4)
-            verdict = "pass" if rel_err <= claim.rel_tol else "fail"
-        else:
-            rel_err = "n/a"
-            verdict = "missing"
-        rows.append(
-            {
-                "experiment": claim.experiment,
-                "metric": claim.metric,
-                "paper": claim.paper,
-                "measured": measured,
-                "rel_err": rel_err,
-                "rel_tol": claim.rel_tol,
-                "verdict": verdict,
-            }
+    return [
+        _verdict_row(
+            claim,
+            results.get(claim.experiment, {}).get("summary", {}).get(
+                claim.metric, "n/a"
+            ),
         )
-    return rows
+        for claim in PAPER_CLAIMS
+    ]
+
+
+def corpus_claim_verdicts(summary: dict) -> list[dict]:
+    """Verdict rows for :data:`CORPUS_CLAIMS` against a corpus summary
+    (:func:`repro.report.rollup.corpus_claim_summary`)."""
+    return [
+        _verdict_row(claim, summary.get(claim.metric, "n/a"))
+        for claim in CORPUS_CLAIMS
+    ]
 
 
 def paper_comparison(results: dict[str, dict]) -> list[dict]:

@@ -1,0 +1,111 @@
+"""Family × variant roll-ups over corpus sweep rows.
+
+The corpus runner (:mod:`repro.corpus`) produces one engine row per
+(matrix, variant) cell, tagged with the entry's ``family`` label.
+:func:`family_rollup` aggregates those rows into the family × variant
+table the report renders into EXPERIMENTS.md — geometric-mean/min/max
+bandwidth plus mean coalescing rate per cell — and
+:func:`corpus_claim_summary` distils the corpus-tier claim metrics
+(the fig3 headline aggregates restated over the whole suite) that
+``corpus_claims.csv`` is scored against.
+
+Everything here is plain arithmetic over already-computed rows: no
+engine calls, deterministic output order (families sorted, variants in
+first-appearance order), values rounded to four digits so the tables
+are byte-stable under the store's shortest-repr float serialisation.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: bandwidth column per backend kind, probed in this order.
+_BANDWIDTH_KEYS = ("indir_gbps", "scatter_gbps", "stream_gbps")
+
+
+def _geomean(values: list[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _bandwidth_key(rows: list[dict]) -> str:
+    for key in _BANDWIDTH_KEYS:
+        if rows and key in rows[0]:
+            return key
+    raise KeyError(
+        f"corpus rows carry none of the known bandwidth columns "
+        f"{_BANDWIDTH_KEYS}"
+    )
+
+
+def family_rollup(rows: list[dict]) -> list[dict]:
+    """Aggregate corpus rows into one row per (family, variant).
+
+    Each input row must carry ``family``, ``variant`` and one of the
+    backend bandwidth columns; ``coal_rate`` is aggregated when
+    present.  Output columns: ``family``, ``variant``, ``n`` (matrix
+    count), ``<bw>_geomean``/``_min``/``_max`` and ``coal_rate_mean``.
+    """
+    if not rows:
+        return []
+    bw_key = _bandwidth_key(rows)
+    variant_order: list[str] = []
+    cells: dict[tuple[str, str], list[dict]] = {}
+    for row in rows:
+        if row["variant"] not in variant_order:
+            variant_order.append(row["variant"])
+        cells.setdefault((row["family"], row["variant"]), []).append(row)
+    out = []
+    for family in sorted({family for family, _ in cells}):
+        for variant in variant_order:
+            members = cells.get((family, variant))
+            if not members:
+                continue
+            values = [float(r[bw_key]) for r in members]
+            cell = {
+                "family": family,
+                "variant": variant,
+                "n": len(members),
+                f"{bw_key}_geomean": round(_geomean(values), 4),
+                f"{bw_key}_min": round(min(values), 4),
+                f"{bw_key}_max": round(max(values), 4),
+            }
+            rates = [float(r["coal_rate"]) for r in members if "coal_rate" in r]
+            if rates:
+                cell["coal_rate_mean"] = round(sum(rates) / len(rates), 4)
+            out.append(cell)
+    return out
+
+
+def corpus_claim_summary(rows: list[dict]) -> dict:
+    """Corpus-tier claim metrics from adapter-kind corpus rows.
+
+    Restricted to *synthetic* entries (the paper-suite generators) so
+    fixture/SuiteSparse additions never move the claim verdicts; each
+    metric is the geometric mean over matrices that carry both of its
+    variants (``MLPnc``/``MLP256``/``SEQ256``).  Matrix counts are
+    reported alongside so the manifest records the sample size.
+    """
+    bw: dict[tuple[str, str], float] = {}
+    for row in rows:
+        if row.get("source") != "synthetic":
+            continue
+        bw[(row["matrix"], row["variant"])] = float(row["indir_gbps"])
+    matrices = sorted({matrix for matrix, _ in bw})
+
+    def ratios(hi: str, lo: str) -> list[float]:
+        return [
+            bw[(m, hi)] / bw[(m, lo)]
+            for m in matrices
+            if (m, hi) in bw and (m, lo) in bw and bw[(m, lo)] > 0
+        ]
+
+    summary: dict = {"synthetic_matrices": len(matrices)}
+    for metric, (hi, lo) in (
+        ("mlp256_boost_geomean", ("MLP256", "MLPnc")),
+        ("seq256_boost_vs_nc_geomean", ("SEQ256", "MLPnc")),
+        ("mlp256_vs_seq256_geomean", ("MLP256", "SEQ256")),
+    ):
+        values = ratios(hi, lo)
+        if values:
+            summary[metric] = round(_geomean(values), 4)
+    return summary

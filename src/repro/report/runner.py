@@ -107,6 +107,7 @@ def run_report(
     shards: int | str | None = None,
     matrices: tuple[str, ...] | None = None,
     experiments: tuple[str, ...] | None = None,
+    corpus: str | None = None,
     stream=None,
 ) -> dict:
     """Run the experiments, persist the store, render the document.
@@ -117,12 +118,21 @@ def run_report(
     experiment is excluded are recorded as ``missing``.  The manifest
     records each experiment's sweep backends (drift-checked) alongside
     the volatile execution knobs (workers, shards, cache totals).
+
+    ``corpus`` names a corpus whose family roll-up rides along in the
+    store (``corpus_<kind>.csv`` + ``corpus_rollup.csv`` tables and a
+    drift-checked ``corpus`` manifest record).  The default: canonical
+    quick runs (``quick=True`` with the full experiment set) include
+    the offline ``quick`` corpus, so the docs-drift gate validates the
+    roll-up tables too; pass ``corpus=""`` to disable explicitly.
     """
     stream = sys.stdout if stream is None else stream
     names = experiments or EXPERIMENT_ORDER
     unknown = [n for n in names if n not in RUNNERS]
     if unknown:
         raise ExperimentError(f"unknown experiments {unknown}")
+    if corpus is None:
+        corpus = "quick" if (quick and experiments is None) else ""
 
     config = _resolve(quick, max_nnz, model, workers, matrices, shards)
     executor = SweepExecutor(config["workers"], shards=config["shards"])
@@ -167,6 +177,39 @@ def run_report(
                 f"[{time.time() - t0:.1f}s]",
                 file=stream,
             )
+        corpus_record = None
+        if corpus:
+            # Imported lazily: repro.corpus builds on this module.
+            from ..corpus import CorpusRunner
+            from ..sparse.corpus import get_corpus
+
+            t0 = time.time()
+            runner = CorpusRunner(
+                get_corpus(corpus),
+                executor=executor,
+                max_nnz=config["scale_nnz"],
+                model=config["adapter_model"],
+            )
+            corpus_result = runner.run()
+            store.write_table(f"corpus_{runner.kind}", corpus_result["rows"])
+            store.write_table("corpus_rollup", corpus_result["rollup"])
+            corpus_record = {
+                "name": runner.corpus.name,
+                "digest": runner.corpus.digest,
+                "kind": runner.kind,
+                "variants": list(runner.variants),
+                "entries": len(runner.corpus.entries),
+                "families": runner.corpus.families(),
+                "rows": len(corpus_result["rows"]),
+                "summary": corpus_result["summary"],
+            }
+            print(
+                f"  corpus {runner.corpus.name!r}: "
+                f"{len(corpus_result['rows'])} rows over "
+                f"{len(runner.corpus.entries)} entries "
+                f"[{time.time() - t0:.1f}s]",
+                file=stream,
+            )
     finally:
         # The persistent pool belongs to this run; release its workers.
         executor.close()
@@ -175,6 +218,8 @@ def run_report(
     manifest = dict(config)
     manifest["tolerances"] = claim_tolerances()
     manifest["experiments"] = recorded
+    if corpus_record is not None:
+        manifest["corpus"] = corpus_record
     manifest["cache"] = {
         "hits": executor.stats["cache_hits"],
         "misses": executor.stats["cache_misses"],
@@ -263,6 +308,9 @@ def check_report(
         "experiments": tuple(
             n for n in EXPERIMENT_ORDER if n in manifest.get("experiments", {})
         ),
+        # Re-run whatever corpus the committed manifest recorded (or
+        # none), so the roll-up tables are part of the drift check.
+        "corpus": manifest.get("corpus", {}).get("name", ""),
     }
 
     drift: list[str] = []

@@ -113,13 +113,22 @@ class ResultStore:
     for downstream analysis pipelines and needs pyarrow.
     """
 
-    def __init__(self, root: Path | str, fmt: str = "csv") -> None:
+    def __init__(
+        self,
+        root: Path | str,
+        fmt: str = "csv",
+        manifest_name: str = MANIFEST_NAME,
+    ) -> None:
         if fmt not in STORE_FORMATS:
             raise ExperimentError(
                 f"unknown store format {fmt!r}; expected one of {STORE_FORMATS}"
             )
         self.root = Path(root)
         self.fmt = fmt
+        #: the corpus runner co-locates its tier in ``results/full/``
+        #: under ``corpus_manifest.json``, so a full report run and a
+        #: corpus run never clobber each other's manifests.
+        self.manifest_name = manifest_name
 
     # -- tables ---------------------------------------------------------
 
@@ -203,7 +212,7 @@ class ResultStore:
 
     @property
     def manifest_path(self) -> Path:
-        return self.root / MANIFEST_NAME
+        return self.root / self.manifest_name
 
     def write_manifest(self, manifest: dict) -> Path:
         """Persist the run manifest (sorted keys, trailing newline)."""

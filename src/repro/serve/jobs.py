@@ -43,7 +43,13 @@ from ..engine import SweepExecutor
 from ..errors import ExperimentError, ReproError
 from ..report.runner import DEFAULT_STORE_DIR, RUNNERS
 from ..report.store import ResultStore
-from .protocol import ExperimentRequest, Request, SweepRequest, canonicalize
+from .protocol import (
+    CorpusRequest,
+    ExperimentRequest,
+    Request,
+    SweepRequest,
+    canonicalize,
+)
 
 
 class _Job:
@@ -227,6 +233,25 @@ class JobManager:
         if isinstance(request, SweepRequest):
             for _key, _variants, rows in self.executor.run_stream(request.points()):
                 yield [dict(row) for row in rows]
+            return
+        if isinstance(request, CorpusRequest):
+            # Ephemeral (no journal/store): the manager's own cache
+            # layers provide the warm path for repeated corpus jobs.
+            from ..corpus import CorpusRunner
+            from ..sparse.corpus import get_corpus
+
+            runner = CorpusRunner(
+                get_corpus(request.corpus),
+                executor=self.executor,
+                kind=request.kind,
+                variants=request.variants,
+                fmt=request.fmt,
+                max_nnz=request.max_nnz,
+                model=request.model,
+            )
+            for _entry, _status, rows in runner.iter_groups():
+                if rows:
+                    yield [dict(row) for row in rows]
             return
         result = RUNNERS[request.name](**self._experiment_kwargs(request))
         yield [dict(row) for row in result["rows"]]

@@ -9,7 +9,11 @@ Every request the sweep service accepts is a JSON object with a
 * ``{"cmd": "experiment", "name": "fig3", "quick": true}`` — one
   registered experiment runner, servable straight from the committed
   result store when the store manifest matches the resolved
-  configuration.
+  configuration;
+* ``{"cmd": "corpus", "corpus": "quick", ...}`` — a registered matrix
+  corpus (:mod:`repro.sparse.corpus`) swept offline through the corpus
+  runner, rows streaming per completed entry.  The job key embeds the
+  corpus *digest*, so editing a manifest's entry set splits the key.
 
 :func:`canonicalize` turns such a payload into a frozen request
 object: defaults are filled in, list fields become tuples, comma
@@ -46,6 +50,9 @@ _SWEEP_FIELDS = frozenset(
 )
 _EXPERIMENT_FIELDS = frozenset(
     {"cmd", "name", "matrices", "max_nnz", "model", "quick"}
+)
+_CORPUS_FIELDS = frozenset(
+    {"cmd", "corpus", "kind", "variants", "fmt", "max_nnz", "model", "quick"}
 )
 
 
@@ -103,7 +110,34 @@ class ExperimentRequest:
         return kwargs
 
 
-Request = SweepRequest | ExperimentRequest
+@dataclass(frozen=True)
+class CorpusRequest:
+    """A canonical corpus sweep: one variant set over a named corpus.
+
+    ``digest`` is the corpus's entry-identity digest, resolved at
+    canonicalization — two requests naming the same corpus share a key
+    only while the corpus's entry set is unchanged.  Corpus jobs always
+    run offline (only cached/local matrices); enabling fetches is a CLI
+    decision, not a wire-request one.
+    """
+
+    corpus: str
+    digest: str
+    kind: str
+    variants: tuple[str, ...]
+    fmt: str
+    max_nnz: int
+    model: str
+
+    @property
+    def job_key(self) -> tuple:
+        return (
+            "corpus", self.corpus, self.digest, self.kind, self.variants,
+            self.fmt, self.max_nnz, self.model,
+        )
+
+
+Request = SweepRequest | ExperimentRequest | CorpusRequest
 
 
 def _str_tuple(payload: dict, field: str, default=None) -> tuple[str, ...] | None:
@@ -169,7 +203,11 @@ def canonicalize(payload) -> Request:
         return _canonicalize_sweep(payload)
     if cmd == "experiment":
         return _canonicalize_experiment(payload)
-    raise ServeError(f"unknown cmd {cmd!r}; expected sweep or experiment")
+    if cmd == "corpus":
+        return _canonicalize_corpus(payload)
+    raise ServeError(
+        f"unknown cmd {cmd!r}; expected sweep, experiment or corpus"
+    )
 
 
 def _canonicalize_sweep(payload: dict) -> SweepRequest:
@@ -227,6 +265,44 @@ def _canonicalize_experiment(payload: dict) -> ExperimentRequest:
     return ExperimentRequest(
         name=name, scale_nnz=scale, model=_model_field(payload),
         matrices=matrices,
+    )
+
+
+def _canonicalize_corpus(payload: dict) -> CorpusRequest:
+    from ..corpus import CORPUS_KINDS, DEFAULT_VARIANTS
+    from ..errors import CorpusError
+    from ..sparse.corpus import get_corpus
+
+    _check_fields(payload, _CORPUS_FIELDS)
+    name = payload.get("corpus", "quick")
+    if not isinstance(name, str) or not name:
+        raise ServeError("corpus must be a corpus name")
+    try:
+        corpus = get_corpus(name)
+    except CorpusError as exc:
+        raise ServeError(str(exc)) from exc
+    kind = payload.get("kind", "adapter")
+    if kind not in CORPUS_KINDS:
+        raise ServeError(
+            f"corpus sweeps support kinds {', '.join(CORPUS_KINDS)}, "
+            f"not {kind!r}"
+        )
+    fmt = payload.get("fmt", "sell")
+    if not isinstance(fmt, str) or not fmt:
+        raise ServeError("fmt must be a format name")
+    quick = _bool_field(payload, "quick")
+    max_nnz = _int_field(
+        payload, "max_nnz",
+        default=QUICK_NNZ if quick else DEFAULT_MAX_NNZ, minimum=1000,
+    )
+    return CorpusRequest(
+        corpus=name,
+        digest=corpus.digest,
+        kind=kind,
+        variants=_str_tuple(payload, "variants", default=DEFAULT_VARIANTS),
+        fmt=fmt,
+        max_nnz=max_nnz,
+        model=_model_field(payload),
     )
 
 

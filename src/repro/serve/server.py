@@ -72,7 +72,7 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
             self._respond_json(404, {"event": "error", "error": f"no route {self.path}"})
 
     def do_POST(self) -> None:
-        if self.path not in ("/sweep", "/experiment", "/job"):
+        if self.path not in ("/sweep", "/experiment", "/corpus", "/job"):
             self._respond_json(404, {"event": "error", "error": f"no route {self.path}"})
             return
         try:

@@ -63,17 +63,52 @@ def read_matrix_market(path: str | Path) -> CsrMatrix:
             size_line = next(lines)
         except StopIteration:
             raise SparseFormatError("missing size line") from None
-        nrows, ncols, nnz = (int(tok) for tok in size_line.split())
+        tokens = size_line.split()
+        if len(tokens) != 3:
+            raise SparseFormatError(
+                f"bad size line {size_line!r}: expected 'nrows ncols nnz'"
+            )
+        try:
+            nrows, ncols, nnz = (int(tok) for tok in tokens)
+        except ValueError:
+            raise SparseFormatError(
+                f"bad size line {size_line!r}: dimensions must be integers"
+            ) from None
+        if nrows < 0 or ncols < 0 or nnz < 0:
+            raise SparseFormatError(
+                f"bad size line {size_line!r}: dimensions must be non-negative"
+            )
 
+        value_tokens = 2 if field == "pattern" else 3
         rows = np.empty(nnz, dtype=np.int64)
         cols = np.empty(nnz, dtype=np.int64)
         vals = np.empty(nnz, dtype=np.float64)
         count = 0
         for line in lines:
+            if count >= nnz:
+                raise SparseFormatError(
+                    f"expected {nnz} entries, found more"
+                )
             tokens = line.split()
-            rows[count] = int(tokens[0]) - 1
-            cols[count] = int(tokens[1]) - 1
-            vals[count] = float(tokens[2]) if field != "pattern" else 1.0
+            if len(tokens) < value_tokens:
+                raise SparseFormatError(
+                    f"bad entry line {line!r}: expected at least "
+                    f"{value_tokens} tokens"
+                )
+            try:
+                row = int(tokens[0]) - 1
+                col = int(tokens[1]) - 1
+                val = float(tokens[2]) if field != "pattern" else 1.0
+            except ValueError:
+                raise SparseFormatError(f"bad entry line {line!r}") from None
+            if not (0 <= row < nrows and 0 <= col < ncols):
+                raise SparseFormatError(
+                    f"entry ({row + 1}, {col + 1}) outside the declared "
+                    f"{nrows}x{ncols} shape"
+                )
+            rows[count] = row
+            cols[count] = col
+            vals[count] = val
             count += 1
         if count != nnz:
             raise SparseFormatError(f"expected {nnz} entries, found {count}")

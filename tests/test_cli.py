@@ -152,3 +152,40 @@ def test_stray_positionals_are_rejected(capsys):
     assert main(["fig6a", "garbage", "-workers", "4"]) == 1
     assert "no positional arguments" in capsys.readouterr().err
     assert main(["suite", "extra"]) == 1
+
+
+def test_corpus_list(capsys):
+    assert main(["corpus", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "quick" in out and "full" in out and "suitesparse-demo" in out
+    assert main(["corpus", "list", "quick"]) == 0
+    out = capsys.readouterr().out
+    assert "tiny_banded" in out and "generator" in out
+
+
+def test_corpus_run_offline_smoke(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CORPUS_CACHE", str(tmp_path / "cache"))
+    args = [
+        "corpus", "run", "--quick", "--offline",
+        "--store", str(tmp_path / "store"), "--variants", "MLPnc,MLP64",
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "corpus: 7 groups — 7 computed, 0 skipped, 0 failed" in out
+    assert "fixture" in out  # roll-up table includes the fixture family
+    # resume: everything journaled, nothing recomputed
+    assert main(args) == 0
+    assert "0 computed, 7 skipped" in capsys.readouterr().out
+
+
+def test_corpus_flag_validation(capsys):
+    assert main(["corpus"]) == 1
+    assert "list/run/check" in capsys.readouterr().err
+    assert main(["corpus", "run", "--full", "--quick"]) == 1
+    assert "mutually exclusive" in capsys.readouterr().err
+    assert main(["corpus", "run", "--kind", "system"]) == 1
+    assert "support kinds" in capsys.readouterr().err
+    assert main(["corpus", "run", "--nnz", "12"]) == 1
+    assert "--nnz must be >= 1000" in capsys.readouterr().err
+    assert main(["corpus", "frobnicate"]) == 1
+    assert main(["corpus", "run", "--frobnicate"]) == 1

@@ -221,6 +221,49 @@ class TestPersistentPool:
         stats = executor.last_stats
         assert {"cache_hits", "cache_misses", "cache_evictions"} <= set(stats)
 
+    def test_add_stats_folds_external_counters(self):
+        executor = SweepExecutor(workers=1)
+        executor.run(self.points())
+        executor.add_stats(corpus_groups=2, corpus_computed=1, corpus_skipped=1)
+        assert executor.last_stats["corpus_groups"] == 2
+        assert executor.stats["corpus_computed"] == 1
+        # accumulates across calls, alongside the engine's own counters
+        executor.add_stats(corpus_groups=3)
+        assert executor.last_stats["corpus_groups"] == 5
+        assert executor.stats["corpus_groups"] == 5
+        assert executor.stats["groups"] >= 1  # engine counters untouched
+
+    def test_corpus_run_reports_progress_through_executor_stats(self, tmp_path):
+        from repro.corpus import CorpusRunner
+        from repro.sparse.corpus import Corpus, MatrixCache, synthetic_entries
+
+        executor = SweepExecutor(workers=1)
+        runner = CorpusRunner(
+            Corpus("counters", synthetic_entries(("msc01440", "pwtk"))),
+            executor=executor,
+            store_dir=tmp_path,
+            cache=MatrixCache(tmp_path / "cache"),
+            variants=("MLPnc",),
+            max_nnz=TINY,
+        )
+        runner.run()
+        assert executor.last_stats["corpus_groups"] == 2
+        assert executor.last_stats["corpus_computed"] == 2
+        assert executor.last_stats["corpus_skipped"] == 0
+        assert executor.last_stats["corpus_failed"] == 0
+        # a resumed run reports skips through the same counters
+        resumed = SweepExecutor(workers=1)
+        CorpusRunner(
+            Corpus("counters", synthetic_entries(("msc01440", "pwtk"))),
+            executor=resumed,
+            store_dir=tmp_path,
+            cache=MatrixCache(tmp_path / "cache"),
+            variants=("MLPnc",),
+            max_nnz=TINY,
+        ).run()
+        assert resumed.stats["corpus_skipped"] == 2
+        assert resumed.stats["corpus_computed"] == 0
+
     def test_run_stream_covers_all_groups(self):
         executor = SweepExecutor(workers=1)
         points = adapter_grid(("msc01440", "pwtk"), ("MLP64",), max_nnz=TINY)

@@ -126,6 +126,58 @@ class TestCanonicalize:
             "experiment", "fig6a",
         )
 
+    def test_corpus_defaults_and_digest_in_key(self):
+        from repro.corpus import DEFAULT_VARIANTS
+        from repro.sparse.corpus import get_corpus
+
+        req = canonicalize({"cmd": "corpus"})
+        assert req.corpus == "quick"
+        assert req.kind == "adapter"
+        assert req.variants == DEFAULT_VARIANTS
+        assert req.digest == get_corpus("quick").digest
+        assert req.job_key[0] == "corpus"
+        assert req.digest in req.job_key
+
+    @pytest.mark.parametrize(
+        "payload,fragment",
+        [
+            ({"cmd": "corpus", "corpus": "nope"}, "unknown corpus"),
+            ({"cmd": "corpus", "kind": "system"}, "support kinds"),
+            ({"cmd": "corpus", "fmt": ""}, "format name"),
+            ({"cmd": "corpus", "max_nnz": 10}, ">= 1000"),
+            ({"cmd": "corpus", "offline": False}, "unknown request fields"),
+        ],
+    )
+    def test_malformed_corpus_requests(self, payload, fragment):
+        with pytest.raises(ServeError, match=fragment):
+            canonicalize(payload)
+
+
+class TestServedCorpus:
+    def test_corpus_job_computes_then_caches(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CORPUS_CACHE", str(tmp_path))
+        manager = serial_manager()
+        try:
+            req = {"cmd": "corpus", "corpus": "quick", "quick": True}
+            first = manager.submit(req)
+            assert first["source"] == "computed"
+            # 7 quick entries x 4 default variants, entry-named rows
+            assert len(first["rows"]) == 28
+            assert {r["matrix"] for r in first["rows"]} >= {
+                "pwtk", "tiny_general", "tiny_banded",
+            }
+            assert {r["source"] for r in first["rows"]} == {
+                "synthetic", "local",
+            }
+            again = manager.submit(req)
+            assert again["source"] == "cache"
+            assert again["rows"] == first["rows"]
+            stats = manager.executor.stats
+            assert stats["corpus_groups"] == 7
+            assert stats["corpus_computed"] == 7
+        finally:
+            manager.close()
+
 
 class TestServedRowsByteIdentical:
     def test_served_equals_serial_and_pooled(self):

@@ -4,8 +4,11 @@ import gzip
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.errors import SparseFormatError
+from repro.errors import ReproError, SparseFormatError
+from repro.sparse.coo import CooMatrix
 from repro.sparse.mmio import read_matrix_market, write_matrix_market
 
 from helpers import small_csr
@@ -101,3 +104,111 @@ def test_truncated_file_rejected(tmp_path):
     )
     with pytest.raises(SparseFormatError):
         read_matrix_market(path)
+
+
+@pytest.mark.parametrize(
+    "body,fragment",
+    [
+        ("", "missing size line"),
+        ("2 2\n", "expected 'nrows ncols nnz'"),
+        ("two 2 1\n1 1 1.0\n", "must be integers"),
+        ("-2 2 1\n1 1 1.0\n", "must be non-negative"),
+        ("2 2 1\n1\n", "expected at least"),
+        ("2 2 1\n1 1 lots\n", "bad entry line"),
+        ("2 2 1\n3 1 1.0\n", "outside the declared"),
+        ("2 2 1\n1 1 1.0\n2 2 2.0\n", "found more"),
+    ],
+    ids=[
+        "no-size", "short-size", "alpha-size", "negative-dim",
+        "short-entry", "alpha-value", "out-of-range", "surplus",
+    ],
+)
+def test_malformed_bodies_raise_sparse_format_error(tmp_path, body, fragment):
+    path = tmp_path / "bad.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real general\n" + body
+    )
+    with pytest.raises(SparseFormatError, match=fragment) as excinfo:
+        read_matrix_market(path)
+    # callers catch the repro hierarchy, never bare ValueError
+    assert isinstance(excinfo.value, ReproError)
+
+
+@st.composite
+def coo_matrices(draw):
+    nrows = draw(st.integers(min_value=1, max_value=40))
+    ncols = draw(st.integers(min_value=1, max_value=40))
+    nnz = draw(st.integers(min_value=0, max_value=80))
+    rows = draw(st.lists(st.integers(0, nrows - 1), min_size=nnz, max_size=nnz))
+    cols = draw(st.lists(st.integers(0, ncols - 1), min_size=nnz, max_size=nnz))
+    vals = draw(
+        st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+            min_size=nnz,
+            max_size=nnz,
+        )
+    )
+    return CooMatrix(nrows, ncols, rows, cols, vals)
+
+
+@given(coo_matrices(), st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_write_read_roundtrip_property(tmp_path_factory, coo, compress):
+    csr = coo.to_csr()
+    root = tmp_path_factory.mktemp("mmio")
+    path = root / "m.mtx"
+    write_matrix_market(csr, path)
+    if compress:
+        gz = root / "m.mtx.gz"
+        gz.write_bytes(gzip.compress(path.read_bytes()))
+        path = gz
+    back = read_matrix_market(path)
+    assert back.shape == csr.shape
+    assert back.nnz == csr.nnz
+    assert np.allclose(back.to_dense(), csr.to_dense(), rtol=1e-12, atol=0)
+
+
+@given(coo_matrices())
+@settings(max_examples=40, deadline=None)
+def test_symmetric_read_equals_general_expansion(tmp_path_factory, coo):
+    # write the lower triangle as `symmetric`; reading must equal the
+    # full general matrix built by mirroring it
+    csr = coo.to_csr()
+    n = min(csr.nrows, csr.ncols)
+    dense = csr.to_dense()[:n, :n]
+    lower = np.tril(dense)
+    full = lower + np.tril(dense, -1).T
+    entries = [
+        (r + 1, c + 1, lower[r, c])
+        for r in range(n)
+        for c in range(r + 1)
+        if lower[r, c] != 0.0
+    ]
+    path = tmp_path_factory.mktemp("mmio-sym") / "sym.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        + f"{n} {n} {len(entries)}\n"
+        + "".join(f"{r} {c} {v:.17g}\n" for r, c, v in entries)
+    )
+    back = read_matrix_market(path)
+    assert np.allclose(back.to_dense(), full, rtol=1e-12, atol=0)
+
+
+@given(st.integers(min_value=1, max_value=12), st.integers(min_value=0, max_value=30))
+@settings(max_examples=40, deadline=None)
+def test_pattern_read_is_indicator_matrix(tmp_path_factory, n, nnz):
+    rng = np.random.default_rng(n * 1000 + nnz)
+    coords = {
+        (int(rng.integers(n)), int(rng.integers(n))) for _ in range(nnz)
+    }
+    path = tmp_path_factory.mktemp("mmio-pat") / "pat.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        + f"{n} {n} {len(coords)}\n"
+        + "".join(f"{r + 1} {c + 1}\n" for r, c in sorted(coords))
+    )
+    dense = read_matrix_market(path).to_dense()
+    expected = np.zeros((n, n))
+    for r, c in coords:
+        expected[r, c] = 1.0
+    assert np.array_equal(dense, expected)
