@@ -50,7 +50,14 @@ from ..errors import CorpusError, ReproError
 from ..report.claims import corpus_claim_tolerances, corpus_claim_verdicts
 from ..report.rollup import corpus_claim_summary, family_rollup
 from ..report.store import ResultStore
-from ..sparse.corpus import Corpus, MatrixCache, matrix_name
+from ..sparse.corpus import (
+    Corpus,
+    MatrixCache,
+    corpus_definition,
+    corpus_names,
+    get_corpus,
+    matrix_name,
+)
 from ..sparse.suite import DEFAULT_MAX_NNZ, SUITE_SEED
 
 #: backend kinds a corpus can sweep.  ``system`` and ``strided`` are
@@ -219,6 +226,27 @@ class CorpusRunner:
             "seed": SUITE_SEED,
         }
 
+    def _manifest_base(self) -> dict:
+        """Identity plus, for ad-hoc corpora, the inline corpus
+        definition.
+
+        A tier built from ``--corpus path.json`` embeds its entry list
+        in ``corpus_manifest.json`` so ``corpus check`` can rebuild the
+        corpus without the original manifest file.  Registered corpora
+        whose name still resolves to the same entry set skip the
+        embedding — their definition is code, and the committed tiers'
+        manifests stay byte-stable.
+        """
+        base = self.identity()
+        needs_definition = True
+        if self.corpus.name in corpus_names():
+            needs_definition = (
+                get_corpus(self.corpus.name).digest != self.corpus.digest
+            )
+        if needs_definition:
+            base["corpus_definition"] = corpus_definition(self.corpus)
+        return base
+
     def group_key(self, entry, source_digest: str) -> list:
         """The resumable job key of one entry's matrix group.
 
@@ -291,7 +319,11 @@ class CorpusRunner:
         if {key_: manifest.get(key_) for key_ in identity} != identity:
             manifest = {}
         completed = [s for s in manifest.get("completed", []) if s != slug]
-        manifest = {**identity, "completed": completed + [slug], "complete": False}
+        manifest = {
+            **self._manifest_base(),
+            "completed": completed + [slug],
+            "complete": False,
+        }
         self.store.write_manifest(manifest)
 
     # -- execution ---------------------------------------------------------
@@ -444,7 +476,7 @@ class CorpusRunner:
                 self.store.write_table("corpus_claims", result["claims"])
                 tables.append("corpus_claims")
             manifest = {
-                **self.identity(),
+                **self._manifest_base(),
                 "completed": completed_slugs,
                 "complete": True,
                 "entries": entry_records,
@@ -473,8 +505,13 @@ def check_corpus(
     re-executes the corpus offline into a scratch store, and
     byte-compares every tier file.  Returns the names of files that
     differ (empty list = no drift).
+
+    Ad-hoc tiers (built from ``--corpus path.json``) carry their corpus
+    definition inline in the manifest, so they are checkable without
+    re-supplying the original manifest path; registered corpora resolve
+    by name as before.
     """
-    from ..sparse.corpus import get_corpus
+    from ..sparse.corpus import corpus_from_definition
 
     committed = ResultStore(store_dir, manifest_name=CORPUS_MANIFEST_NAME)
     manifest = committed.read_manifest()
@@ -483,9 +520,15 @@ def check_corpus(
             f"corpus tier in {store_dir} is incomplete; finish the run "
             "before checking it"
         )
+    definition = manifest.get("corpus_definition")
+    corpus = (
+        corpus_from_definition(definition, label="inline corpus definition")
+        if definition is not None
+        else get_corpus(manifest["corpus"])
+    )
     with tempfile.TemporaryDirectory() as scratch:
         runner = CorpusRunner(
-            get_corpus(manifest["corpus"]),
+            corpus,
             executor=executor,
             store_dir=scratch,
             cache=cache,

@@ -12,12 +12,15 @@ pool spawn + per-matrix analysis) per sweep.  The layers:
   cache → committed-store read → single-flight coalescing → engine.
 * :mod:`repro.serve.server` — the HTTP (NDJSON-streaming) and
   stdin/JSON-lines front ends.
+* :mod:`repro.serve.client` — :class:`ServeClient`: the scripted HTTP
+  consumer (streamed NDJSON iteration, client-side job-key reuse).
 
 ``benchmarks/bench_serve.py`` gates the point of it all: a warm
 repeated request must be ≥10× faster than a cold CLI invocation, with
 served rows byte-identical to a serial :class:`SweepExecutor` run.
 """
 
+from .client import ServeClient
 from .jobs import JobManager
 from .protocol import (
     ExperimentRequest,
@@ -29,6 +32,7 @@ from .server import ReproServer, serve_http, serve_stdio, service_stats
 
 __all__ = [
     "JobManager",
+    "ServeClient",
     "SweepRequest",
     "ExperimentRequest",
     "canonicalize",

@@ -1,0 +1,157 @@
+"""Client for the sweep service: streamed NDJSON plus job-key reuse.
+
+:class:`ServeClient` is the scripted counterpart of ``curl`` against a
+running ``python -m repro serve``: it wraps ``POST /sweep``,
+``POST /experiment`` and ``POST /corpus`` behind one
+:meth:`~ServeClient.stream`/:meth:`~ServeClient.submit` pair.
+
+* :meth:`ServeClient.stream` POSTs one request and yields the NDJSON
+  protocol events (``accepted`` → ``rows`` chunks → ``done``) as they
+  arrive on the socket — a long sweep's completed matrix groups are
+  visible before the run finishes, exactly as the server emits them.
+* :meth:`ServeClient.submit` collects a stream into the same
+  ``{"key", "source", "rows"}`` shape :meth:`JobManager.submit`
+  returns, and adds the client-side layer of the job-key contract:
+  the request is canonicalized *locally* with the very
+  :func:`~repro.serve.protocol.canonicalize` the server runs, so a
+  repeated request resolves to its job key before any bytes hit the
+  wire and is answered from the client's own memo
+  (``source="client"``) without a round trip.  Pass ``reuse=False``
+  to force the round trip (the server then answers from its response
+  cache).  Malformed payloads raise
+  :class:`~repro.errors.ServeError` client-side — the same error,
+  same message, no network needed.
+
+The transport is stdlib ``urllib`` only; HTTP 400/500 answers and
+mid-stream ``{"event": "error"}`` lines both surface as
+:class:`~repro.errors.ServeError`.  ``tools/serve_smoke.py`` drives
+this client against a real server subprocess in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+from ..errors import ServeError
+from .protocol import canonicalize
+
+
+def _freeze(value):
+    """JSON round-tripped job keys come back as nested lists; freeze
+    them to the tuples :attr:`SweepRequest.job_key` produces so server
+    keys and locally canonicalized keys compare (and hash) equal."""
+    if isinstance(value, list):
+        return tuple(_freeze(item) for item in value)
+    return value
+
+
+class ServeClient:
+    """One sweep-service endpoint plus a per-client job-key memo.
+
+    ``base_url`` names the server (e.g. ``http://127.0.0.1:8787``);
+    ``timeout`` is the per-request socket timeout in seconds.  The
+    memo holds completed results keyed by canonical job key and is
+    unbounded — a client lives for one scripting session, not a
+    server's lifetime; call :meth:`forget` to drop it.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self._results: dict[tuple, tuple[str, list[dict]]] = {}
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(self, path: str, payload: dict | None = None):
+        data = None if payload is None else json.dumps(payload).encode()
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=data,
+            headers={} if data is None else {"Content-Type": "application/json"},
+        )
+        try:
+            return urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as exc:
+            body = exc.read().decode(errors="replace")
+            try:
+                message = json.loads(body)["error"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                message = body.strip() or f"HTTP {exc.code}"
+            raise ServeError(f"server rejected {path}: {message}") from exc
+        except OSError as exc:
+            raise ServeError(f"cannot reach {self.base_url}{path}: {exc}") from exc
+
+    def _get_json(self, path: str) -> dict:
+        with self._request(path) as response:
+            return json.loads(response.read().decode())
+
+    # -- probes ------------------------------------------------------------
+
+    def healthy(self) -> bool:
+        """True when ``GET /healthz`` answers ``{"ok": true}``."""
+        try:
+            return self._get_json("/healthz") == {"ok": True}
+        except ServeError:
+            return False
+
+    def stats(self) -> dict:
+        """The server's ``GET /stats`` payload (job + engine layers)."""
+        return self._get_json("/stats")
+
+    # -- jobs --------------------------------------------------------------
+
+    def stream(self, payload: dict, path: str | None = None):
+        """POST one request; yield protocol events as lines arrive.
+
+        ``path`` defaults from the payload's ``cmd`` (itself defaulting
+        to ``sweep``), mirroring how the server defaults ``cmd`` from
+        the path.  A mid-stream ``{"event": "error"}`` line raises
+        :class:`~repro.errors.ServeError` — events yielded before it
+        remain valid (completed groups of a partially failed sweep).
+        """
+        if path is None:
+            cmd = payload.get("cmd", "sweep") if isinstance(payload, dict) else "sweep"
+            path = f"/{cmd}"
+        with self._request(path, payload if payload is not None else {}) as response:
+            for raw in response:
+                line = raw.decode().strip()
+                if not line:
+                    continue
+                event = json.loads(line)
+                if event.get("event") == "error":
+                    raise ServeError(event.get("error", "unspecified server error"))
+                yield event
+
+    def submit(self, payload: dict, reuse: bool = True) -> dict:
+        """Serve one request to completion.
+
+        Returns ``{"key", "source", "rows"}``; ``rows`` are per-row
+        copies, safe to mutate.  With ``reuse`` (the default) a job
+        key this client has already collected is answered from its
+        memo as ``source="client"`` with no network traffic; the
+        canonical key is computed locally, so spelling out defaulted
+        knobs or reordering fields never defeats the memo — the same
+        guarantee the server's own layers hang off.
+        """
+        key = canonicalize(payload).job_key
+        if reuse and key in self._results:
+            source, rows = self._results[key]
+            return {"key": key, "source": "client", "rows": [dict(r) for r in rows]}
+
+        source = "computed"
+        rows: list[dict] = []
+        for event in self.stream(payload):
+            if event["event"] == "accepted":
+                key = _freeze(event["key"])
+            elif event["event"] == "rows":
+                rows.extend(event["rows"])
+            elif event["event"] == "done":
+                source = event["source"]
+        self._results[key] = (source, rows)
+        return {"key": key, "source": source, "rows": [dict(r) for r in rows]}
+
+    def forget(self) -> None:
+        """Drop the client-side job-key memo."""
+        self._results.clear()

@@ -48,6 +48,13 @@ from .clock import Simulator
 from .component import FAR_FUTURE
 from .fifo import Fifo
 
+#: consecutive all-due process cycles before the engine fuses into the
+#: step-identical inner loop (wake bookkeeping suspended), and the
+#: period at which the fused loop re-polls horizons to decide whether
+#: the pipeline has gone quiet again.
+FUSE_STREAK = 8
+FUSE_POLL = 32
+
 
 class BatchedEngine:
     """One batched ``run_until`` over a :class:`Simulator`.
@@ -75,6 +82,8 @@ class BatchedEngine:
         self._pos = n
         self._now = now
         self._saved: list[tuple[Fifo, list[Fifo] | None]] = []
+        #: wake hooks installed at attach, suspended while fused.
+        self._wake_hooks: list[tuple[Fifo, tuple]] = []
 
     # -- wiring ----------------------------------------------------------
 
@@ -107,7 +116,11 @@ class BatchedEngine:
         for fifo, any_positions, push_positions in waiters.values():
             self._saved.append((fifo, fifo._dirty_sink))
             fifo._dirty_sink = self.dirty
-            fifo._wake = (self, tuple(any_positions), tuple(push_positions))
+            hook = (self, tuple(any_positions), tuple(push_positions))
+            fifo._wake = hook
+            self._wake_hooks.append((fifo, hook))
+        for comp in self.components:
+            comp.set_bulk(True)
         # Pushes staged before this run (e.g. the fetcher's initial
         # burst descriptor) must still commit at the end of the first
         # processed cycle.
@@ -124,6 +137,9 @@ class BatchedEngine:
             fifo._wake = None
             fifo._dirty_sink = sink
         self._saved.clear()
+        self._wake_hooks.clear()
+        for comp in self.components:
+            comp.set_bulk(False)
         # Catch every component up to the global clock so its state —
         # pure time counters included — is exactly what the step engine
         # would hold at this cycle.
@@ -166,10 +182,13 @@ class BatchedEngine:
         sim = self.sim
         comps = self.components
         due = self.due
+        synced = self.synced
         horizon = sim.deadlock_horizon
         ops = sim._ops
         start = sim.cycle
         budget_end = start + max_cycles
+        fuse_streak = 0
+        n = len(comps)
         while not done():
             target = min(due, default=FAR_FUTURE)
             if target > sim.cycle:
@@ -196,8 +215,58 @@ class BatchedEngine:
                 raise BudgetExceededError(
                     max_cycles, [c.name for c in comps if c.busy]
                 )
+            cycle = sim.cycle
+            # Burst span: a single due component whose next cycles are a
+            # provably regular, FIFO-silent burst executes them as one
+            # bulk transfer instead of per-cycle ticks.  Sound because
+            # every other component sleeps through the span (their due
+            # times bound it) and the max_bulk contract forbids any
+            # externally observable effect inside it.
+            solo = -1
+            gap = FAR_FUTURE
+            for pos in range(n):
+                d = due[pos]
+                if d <= cycle:
+                    if solo >= 0:
+                        solo = -2
+                        break
+                    solo = pos
+                elif d < gap:
+                    gap = d
+            if solo >= 0:
+                limit = min(gap - cycle, budget_end - cycle,
+                            horizon - sim._idle_cycles - 1)
+                if limit > 1:
+                    comp = comps[solo]
+                    # Sync before asking: max_bulk measures the span
+                    # from comp.cycle, so catch up any lag first (a no-
+                    # op replay, same as _process would do; _process
+                    # sees lag 0 afterwards if the span is refused).
+                    lag = cycle - synced[solo]
+                    if lag > 0:
+                        comp.advance(lag)
+                        synced[solo] = cycle
+                    comp.cycle = cycle
+                    span = comp.max_bulk(limit)
+                    if span > 1:
+                        comp.bulk_tick(span)
+                        end = cycle + span
+                        comp.cycle = end
+                        synced[solo] = end
+                        nxt = comp.next_event()
+                        due[solo] = (
+                            FAR_FUTURE if nxt is None
+                            else (nxt if nxt > end else end)
+                        )
+                        sim.cycle = end
+                        # FIFO-silent by contract: replay the step
+                        # engine's idle count for `span` op-free cycles
+                        # (the limit clamp keeps it below the horizon).
+                        sim._idle_cycles += span
+                        fuse_streak = 0
+                        continue
             activity_before = ops[0]
-            self._process(sim.cycle)
+            ticked = self._process(cycle)
             sim.cycle += 1
             if ops[0] == activity_before:
                 sim._idle_cycles += 1
@@ -209,14 +278,100 @@ class BatchedEngine:
                     )
             else:
                 sim._idle_cycles = 0
+            # Saturated pipeline: when (nearly) every component is due
+            # cycle after cycle, per-component wake bookkeeping is pure
+            # overhead over the step loop — fuse into it.
+            if ticked * 4 >= n * 3:
+                fuse_streak += 1
+                if fuse_streak >= FUSE_STREAK and not done():
+                    self._run_fused(done, budget_end, max_cycles)
+                    fuse_streak = 0
+            else:
+                fuse_streak = 0
         return sim.cycle - start
 
-    def _process(self, cycle: int) -> None:
-        """Tick every due component for ``cycle``, then commit."""
+    def _run_fused(
+        self, done: Callable[[], bool], budget_end: int, max_cycles: int
+    ) -> None:
+        """Step-identical inner loop: tick everything every cycle with
+        wake hooks suspended (nobody sleeps, so wakes convey nothing),
+        until a horizon poll shows components going quiet again.
+
+        Ticking a component on a cycle where it does nothing is always
+        safe, so fusing is bit-exact by the same argument as the step
+        engine itself; the poll merely decides when the per-cycle cost
+        of ticking sleepers outweighs the saved bookkeeping.
+        """
+        sim = self.sim
+        comps = self.components
+        horizon = sim.deadlock_horizon
+        ops = sim._ops
+        dirty = self.dirty
+        for fifo, _hook in self._wake_hooks:
+            fifo._wake = None
+        self._pos = len(comps)
+        try:
+            countdown = FUSE_POLL
+            while not done():
+                cycle = sim.cycle
+                if cycle >= budget_end:
+                    raise BudgetExceededError(
+                        max_cycles, [c.name for c in comps if c.busy]
+                    )
+                activity_before = ops[0]
+                for comp in comps:
+                    comp.cycle = cycle
+                    comp.tick()
+                if dirty:
+                    for fifo in dirty:
+                        fifo.commit()
+                    dirty.clear()
+                sim.cycle = cycle + 1
+                if ops[0] == activity_before:
+                    sim._idle_cycles += 1
+                    if sim._idle_cycles >= horizon and any(
+                        c.busy for c in comps
+                    ):
+                        busy = [c.name for c in comps if c.busy]
+                        raise DeadlockError(
+                            f"no progress for {sim._idle_cycles} cycles; "
+                            f"busy components: {busy}"
+                        )
+                else:
+                    sim._idle_cycles = 0
+                countdown -= 1
+                if countdown == 0:
+                    countdown = FUSE_POLL
+                    after = sim.cycle
+                    due = self.due
+                    due_now = 0
+                    for pos, comp in enumerate(comps):
+                        comp.cycle = after
+                        nxt = comp.next_event()
+                        due[pos] = (
+                            FAR_FUTURE if nxt is None
+                            else (nxt if nxt > after else after)
+                        )
+                        if due[pos] <= after:
+                            due_now += 1
+                    if due_now * 4 < len(comps) * 3:
+                        return
+        finally:
+            after = sim.cycle
+            synced = self.synced
+            for pos in range(len(comps)):
+                synced[pos] = after
+            for fifo, hook in self._wake_hooks:
+                fifo._wake = hook
+
+    def _process(self, cycle: int) -> int:
+        """Tick every due component for ``cycle``, then commit; returns
+        the number of components ticked (the fuse heuristic input)."""
         due = self.due
         synced = self.synced
         self._now = cycle
         after = cycle + 1
+        ticked = 0
         # Catch-up pass BEFORE any cycle-`cycle` tick runs: advance()
         # replays skipped no-op ticks from the component's own counters,
         # and those reads are only exact while the state is still
@@ -231,6 +386,7 @@ class BatchedEngine:
                 synced[pos] = cycle
         for pos, comp in enumerate(self.components):
             if due[pos] <= cycle:
+                ticked += 1
                 self._pos = pos
                 comp.cycle = cycle
                 comp.tick()
@@ -253,3 +409,4 @@ class BatchedEngine:
                         if after < due[p]:
                             due[p] = after
             dirty.clear()
+        return ticked

@@ -263,6 +263,53 @@ def get_corpus(name: str) -> Corpus:
     )
 
 
+def corpus_definition(corpus: Corpus) -> dict:
+    """``corpus`` as a plain-JSON manifest payload (the inverse of
+    :func:`corpus_from_definition`).
+
+    The corpus runner embeds this in ``corpus_manifest.json`` so a tier
+    built from an ad-hoc ``--corpus path.json`` stays checkable after
+    the original manifest file is gone or moved.
+    """
+    entries = []
+    for entry in corpus.entries:
+        record = {"name": entry.name, "family": entry.family,
+                  "source": entry.source}
+        for field in ("url", "path", "sha256", "group"):
+            value = getattr(entry, field)
+            if value:
+                record[field] = value
+        entries.append(record)
+    return {"name": corpus.name, "entries": entries}
+
+
+def corpus_from_definition(payload: dict, label: str = "definition") -> Corpus:
+    """Build a :class:`Corpus` from a manifest payload (an object with
+    a ``name`` and an ``entries`` list); ``label`` names the source in
+    error messages."""
+    if not isinstance(payload, dict) or not isinstance(payload.get("entries"), list):
+        raise CorpusError(
+            f"corpus {label} must be an object with an 'entries' list"
+        )
+    name = payload.get("name") or label
+    entries = []
+    for record in payload["entries"]:
+        if not isinstance(record, dict):
+            raise CorpusError(f"corpus {label}: entries must be objects")
+        unknown = sorted(
+            set(record) - {"name", "family", "source", "url", "path", "sha256", "group"}
+        )
+        if unknown:
+            raise CorpusError(
+                f"corpus {label}: unknown entry fields {unknown}"
+            )
+        try:
+            entries.append(CorpusEntry(**record))
+        except TypeError as exc:
+            raise CorpusError(f"corpus {label}: {exc}") from exc
+    return Corpus(str(name), tuple(entries))
+
+
 def load_corpus_manifest(path: Path | str) -> Corpus:
     """Parse a JSON corpus manifest::
 
@@ -278,27 +325,9 @@ def load_corpus_manifest(path: Path | str) -> Corpus:
         payload = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as exc:
         raise CorpusError(f"cannot read corpus manifest {path}: {exc}") from exc
-    if not isinstance(payload, dict) or not isinstance(payload.get("entries"), list):
-        raise CorpusError(
-            f"corpus manifest {path} must be an object with an 'entries' list"
-        )
-    name = payload.get("name") or path.stem
-    entries = []
-    for record in payload["entries"]:
-        if not isinstance(record, dict):
-            raise CorpusError(f"corpus manifest {path}: entries must be objects")
-        unknown = sorted(
-            set(record) - {"name", "family", "source", "url", "path", "sha256", "group"}
-        )
-        if unknown:
-            raise CorpusError(
-                f"corpus manifest {path}: unknown entry fields {unknown}"
-            )
-        try:
-            entries.append(CorpusEntry(**record))
-        except TypeError as exc:
-            raise CorpusError(f"corpus manifest {path}: {exc}") from exc
-    return Corpus(str(name), tuple(entries))
+    if isinstance(payload, dict) and not payload.get("name"):
+        payload = {**payload, "name": path.stem}
+    return corpus_from_definition(payload, label=f"manifest {path}")
 
 
 # -- fast-load format --------------------------------------------------------

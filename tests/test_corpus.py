@@ -432,6 +432,63 @@ class TestCheckCorpus:
         with pytest.raises(CorpusError, match="incomplete"):
             check_corpus(store, cache=MatrixCache(tmp_path / "cache"))
 
+    def test_ad_hoc_tier_checkable_without_manifest_path(self, tmp_path):
+        # A tier built from `--corpus path.json` embeds its definition
+        # in corpus_manifest.json; check_corpus must rebuild the corpus
+        # from that even after the original JSON manifest is deleted.
+        manifest_path = tmp_path / "mine.json"
+        manifest_path.write_text(json.dumps({
+            "name": "mine",
+            "entries": [
+                {"name": "pwtk", "family": "stiffness"},
+                {"name": "msc01440", "family": "dense_block"},
+            ],
+        }))
+        store, cache = tmp_path / "store", MatrixCache(tmp_path / "cache")
+        CorpusRunner(
+            get_corpus(str(manifest_path)), store_dir=store, cache=cache,
+            variants=VARIANTS, max_nnz=TINY,
+        ).run()
+        tier_manifest = json.loads(
+            (store / CORPUS_MANIFEST_NAME).read_text()
+        )
+        assert tier_manifest["corpus_definition"]["name"] == "mine"
+        manifest_path.unlink()
+        assert check_corpus(store, cache=cache) == []
+
+    def test_registered_tier_manifest_stays_lean(self, tmp_path):
+        # Registered corpora resolve by name; their tiers must not
+        # embed a definition (keeps the committed manifests byte-stable
+        # across code revisions).
+        store, cache = tmp_path / "store", tmp_path / "cache"
+        run_tier(store, cache)  # "tiny" is unregistered -> embedded
+        assert "corpus_definition" in json.loads(
+            (store / CORPUS_MANIFEST_NAME).read_text()
+        )
+        registered = tmp_path / "registered"
+        CorpusRunner(
+            get_corpus("quick"), store_dir=registered,
+            cache=MatrixCache(cache), variants=VARIANTS, max_nnz=TINY,
+        ).run()
+        assert "corpus_definition" not in json.loads(
+            (registered / CORPUS_MANIFEST_NAME).read_text()
+        )
+
+
+class TestCommittedCycleTier:
+    def test_manifest_is_complete_and_cycle_model(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        manifest = json.loads(
+            (root / "results" / "cycle" / CORPUS_MANIFEST_NAME).read_text()
+        )
+        assert manifest["complete"] is True
+        assert manifest["model"] == "cycle"
+        assert manifest["kind"] == "adapter"
+        assert manifest["corpus"] == "quick"
+        assert len(manifest["completed"]) == len(manifest["entries"]) == 7
+
 
 class TestKeyProperties:
     @given(st.integers(min_value=1000, max_value=10**7),

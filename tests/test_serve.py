@@ -28,6 +28,7 @@ from repro.report.store import ResultStore
 from repro.serve import (
     JobManager,
     ReproServer,
+    ServeClient,
     canonicalize,
     serve_stdio,
 )
@@ -433,6 +434,78 @@ class TestHttpFrontEnd:
             self._post(server, "/nope", {})
         assert missing.value.code == 404
         assert self._get(server, "/stats")["jobs"]["errors"] >= 1
+
+
+class TestServeClient:
+    """The shipped HTTP client: streamed events, local job-key reuse."""
+
+    @pytest.fixture()
+    def served(self):
+        manager = serial_manager()
+        server = ReproServer(("127.0.0.1", 0), manager)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        client = ServeClient(f"http://127.0.0.1:{server.server_address[1]}")
+        yield client, manager
+        server.shutdown()
+        server.server_close()
+        manager.close()
+
+    def test_stream_yields_protocol_events(self, served):
+        client, _manager = served
+        events = list(client.stream(SWEEP_REQ))
+        assert events[0]["event"] == "accepted"
+        assert events[-1] == {"event": "done", "source": "computed", "row_count": 2}
+        rows = [r for e in events if e["event"] == "rows" for r in e["rows"]]
+        assert len(rows) == 2
+
+    def test_submit_reuses_job_key_without_round_trip(self, served):
+        client, manager = served
+        first = client.submit(SWEEP_REQ)
+        assert first["source"] == "computed"
+        # The client's key is the locally canonicalized one — identical
+        # to what the server computed and streamed back.
+        assert first["key"] == canonicalize(SWEEP_REQ).job_key
+        requests_before = manager.stats["requests"]
+        # Same job, defaults spelled out and fields reordered: the memo
+        # still answers it, and no request reaches the server.
+        spelled = {"max_nnz": TINY, "variants": ["MLPnc", "MLP64"],
+                   "matrices": ["msc01440"], "kind": "adapter", "model": "fast"}
+        memoized = client.submit(spelled)
+        assert memoized["source"] == "client"
+        assert memoized["rows"] == first["rows"]
+        assert manager.stats["requests"] == requests_before
+        # Forcing the wire lands in the server's response cache.
+        wired = client.submit(SWEEP_REQ, reuse=False)
+        assert wired["source"] == "cache"
+        assert wired["rows"] == first["rows"]
+        client.forget()
+        assert client.submit(SWEEP_REQ)["source"] == "cache"
+
+    def test_returned_rows_are_copies(self, served):
+        client, _manager = served
+        client.submit(SWEEP_REQ)["rows"][0]["cycles"] = -1
+        assert client.submit(SWEEP_REQ)["rows"][0]["cycles"] != -1
+
+    def test_malformed_request_raises_client_side(self, served):
+        client, manager = served
+        requests_before = manager.stats["requests"]
+        from repro.errors import ServeError
+
+        with pytest.raises(ServeError, match="matrices and variants"):
+            client.submit({"matrices": ["pwtk"]})
+        # Rejected before any bytes hit the wire.
+        assert manager.stats["requests"] == requests_before
+        # stream() has no local canonicalization; the server's 400
+        # surfaces as the same error type.
+        with pytest.raises(ServeError, match="matrices and variants"):
+            list(client.stream({"matrices": ["pwtk"]}))
+
+    def test_probes(self, served):
+        client, _manager = served
+        assert client.healthy()
+        assert {"jobs", "engine", "workers"} <= set(client.stats())
+        assert not ServeClient("http://127.0.0.1:9").healthy()
 
 
 class TestServeCli:

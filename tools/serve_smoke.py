@@ -1,11 +1,15 @@
 #!/usr/bin/env python3
-"""CI smoke test for the sweep service.
+"""CI smoke test for the sweep service, driven through ServeClient.
 
-Starts ``python -m repro serve`` on an ephemeral port, posts the same
-quick-scale sweep twice, asserts the second response is answered by
-the response cache, then sends SIGTERM and requires a clean exit (code
-0).  This exercises the pieces the in-process tests cannot: the real
-subprocess lifecycle, the bound socket, and the signal handler.
+Starts ``python -m repro serve`` on an ephemeral port, then exercises
+the full client/server cache ladder with :class:`repro.serve.client.
+ServeClient`: the first quick-scale sweep computes on the server, a
+repeated ``submit`` is answered from the client's job-key memo with no
+round trip, and forcing the round trip (``reuse=False``) hits the
+server's response cache.  Finally sends SIGTERM and requires a clean
+exit (code 0).  This covers the pieces the in-process tests cannot:
+the real subprocess lifecycle, the bound socket, and the signal
+handler — plus the shipped client against a real server.
 
 Usage (from the repo root)::
 
@@ -14,17 +18,19 @@ Usage (from the repo root)::
 
 from __future__ import annotations
 
-import json
 import os
 import re
 import signal
 import subprocess
 import sys
 import time
-import urllib.request
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve import ServeClient  # noqa: E402 - path bootstrap above
+
 STARTUP_TIMEOUT_S = 30
 SHUTDOWN_TIMEOUT_S = 10
 SWEEP = {
@@ -32,16 +38,6 @@ SWEEP = {
     "variants": "MLPnc,MLP64",
     "max_nnz": 12_000,
 }
-
-
-def post_ndjson(port: int, path: str, payload: dict) -> list[dict]:
-    request = urllib.request.Request(
-        f"http://127.0.0.1:{port}{path}",
-        data=json.dumps(payload).encode(),
-        headers={"Content-Type": "application/json"},
-    )
-    with urllib.request.urlopen(request, timeout=60) as response:
-        return [json.loads(line) for line in response.read().decode().splitlines()]
 
 
 def main() -> int:
@@ -57,36 +53,42 @@ def main() -> int:
         match = re.search(r"serving on http://[\w.]+:(\d+)", line)
         if not match:
             raise AssertionError(f"no bind line from server, got {line!r}")
-        port = int(match.group(1))
+        client = ServeClient(f"http://127.0.0.1:{int(match.group(1))}")
         deadline = time.monotonic() + STARTUP_TIMEOUT_S
-        while True:
-            try:
-                with urllib.request.urlopen(
-                    f"http://127.0.0.1:{port}/healthz", timeout=5
-                ) as response:
-                    assert json.loads(response.read()) == {"ok": True}
-                break
-            except OSError:
-                if time.monotonic() > deadline:
-                    raise
-                time.sleep(0.2)
+        while not client.healthy():
+            if time.monotonic() > deadline:
+                raise AssertionError("server never became healthy")
+            time.sleep(0.2)
 
-        first = post_ndjson(port, "/sweep", SWEEP)
-        second = post_ndjson(port, "/sweep", SWEEP)
-        done_first = first[-1]
-        done_second = second[-1]
-        assert done_first["event"] == "done", first
-        assert done_first["source"] == "computed", done_first
-        assert done_first["row_count"] == 4, done_first
-        assert done_second["source"] == "cache", done_second
-        rows = [r for e in first if e["event"] == "rows" for r in e["rows"]]
-        cached = [r for e in second if e["event"] == "rows" for r in e["rows"]]
-        assert rows and sorted(rows, key=str) == sorted(cached, key=str)
+        # Stream the first sweep: events in protocol order, computed.
+        events = list(client.stream(SWEEP))
+        assert events[0]["event"] == "accepted", events
+        assert events[-1]["event"] == "done", events
+        assert events[-1]["source"] == "computed", events[-1]
+        assert events[-1]["row_count"] == 4, events[-1]
+        rows = [r for e in events if e["event"] == "rows" for r in e["rows"]]
+
+        # Collected submit hits the server cache (stream() bypasses the
+        # client memo), the repeat is answered from the memo without a
+        # round trip, and reuse=False forces the wire again.
+        computed = client.submit(SWEEP)
+        memoized = client.submit(SWEEP)
+        wired = client.submit(SWEEP, reuse=False)
+        assert computed["source"] == "cache", computed["source"]
+        assert memoized["source"] == "client", memoized["source"]
+        assert wired["source"] == "cache", wired["source"]
+        for result in (computed, memoized, wired):
+            assert sorted(result["rows"], key=str) == sorted(rows, key=str)
+        stats = client.stats()
+        assert stats["jobs"]["response_hits"] >= 2, stats["jobs"]
 
         server.send_signal(signal.SIGTERM)
         code = server.wait(timeout=SHUTDOWN_TIMEOUT_S)
         assert code == 0, f"server exited {code}; stderr: {server.stderr.read()}"
-        print(f"serve smoke OK: computed -> cache ({len(rows)} rows), clean SIGTERM exit")
+        print(
+            f"serve smoke OK: computed -> client memo -> server cache "
+            f"({len(rows)} rows), clean SIGTERM exit"
+        )
         return 0
     finally:
         if server.poll() is None:
