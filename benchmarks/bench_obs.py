@@ -1,0 +1,125 @@
+"""Telemetry overhead guard on the fig4 window sweep.
+
+Two gates keep ``repro.obs`` honest about its headline promise
+("free when off, cheap when on"):
+
+* **disabled <= 2%** — with no tracer configured every instrumented
+  call site hands out the shared no-op span.  The gate multiplies the
+  measured per-call null-span cost by the number of spans a traced run
+  of the same sweep actually emits, and requires that worst-case total
+  to stay under 2% of the sweep's wall-time.  This bounds the overhead
+  deterministically instead of trying to resolve a sub-percent delta
+  between two noisy end-to-end timings.
+* **enabled <= 10%** — a fully traced run (NDJSON sink, profiler on)
+  must stay within 10% of the untraced wall-time, best-of-N both
+  sides.
+
+Both run the quick-scale fig4 grid (3 matrices x 5 window variants)
+serially, so the numbers measure instrumentation, not pool spawns.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.engine import SweepExecutor
+from repro.experiments.common import QUICK_MATRICES, QUICK_NNZ
+from repro.experiments.fig4 import FIG4_VARIANTS, run_fig4
+from repro.obs import profiler, trace
+
+ROUNDS = 3
+
+
+def _sweep() -> dict:
+    with SweepExecutor(workers=1) as executor:
+        return run_fig4(
+            matrices=QUICK_MATRICES,
+            variants=FIG4_VARIANTS,
+            max_nnz=QUICK_NNZ,
+            executor=executor,
+        )
+
+
+def _best_of(rounds: int, run) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _null_span_cost(iterations: int = 200_000) -> float:
+    """Measured per-call cost of the disabled ``span()`` path."""
+    started = time.perf_counter()
+    for _ in range(iterations):
+        with obs.span("bench.null", key=1):
+            pass
+    return (time.perf_counter() - started) / iterations
+
+
+def _traced_span_count() -> int:
+    """Spans one traced sweep emits (the disabled path's call count)."""
+    sink = obs.CollectingSink()
+    trace.configure(sink)
+    profiler.enable()
+    try:
+        _sweep()
+    finally:
+        profiler.disable()
+        trace.shutdown()
+    return len(sink.records)
+
+
+def test_disabled_overhead_bounded(benchmark):
+    untraced = benchmark.pedantic(_sweep, rounds=ROUNDS, iterations=1)
+    assert len(untraced["rows"]) == len(QUICK_MATRICES) * len(FIG4_VARIANTS)
+
+    baseline_s = min(benchmark.stats.stats.data)
+    spans = _traced_span_count()
+    per_call_s = _null_span_cost()
+    worst_case_s = spans * per_call_s
+
+    benchmark.extra_info["spans_per_sweep"] = spans
+    benchmark.extra_info["null_span_ns"] = round(per_call_s * 1e9, 1)
+    benchmark.extra_info["disabled_overhead_pct"] = round(
+        100 * worst_case_s / baseline_s, 4
+    )
+    assert worst_case_s <= 0.02 * baseline_s
+
+
+def test_enabled_overhead_bounded(tmp_path):
+    untraced_s = _best_of(ROUNDS, _sweep)
+
+    def traced(round_index=[0]) -> None:
+        round_index[0] += 1
+        with obs.tracing(tmp_path / f"fig4-{round_index[0]}.ndjson", root="bench.fig4"):
+            _sweep()
+
+    traced_s = _best_of(ROUNDS, traced)
+    assert traced_s <= 1.10 * untraced_s, (
+        f"traced {traced_s:.3f}s vs untraced {untraced_s:.3f}s "
+        f"({traced_s / untraced_s:.2%})"
+    )
+
+
+def test_tracing_leaves_results_identical(tmp_path):
+    plain = _sweep()
+    with obs.tracing(tmp_path / "fig4.ndjson", root="bench.fig4"):
+        traced = _sweep()
+    assert traced["rows"] == plain["rows"]
+    assert traced["summary"] == plain["summary"]
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    obs.reset_registry()
+    trace.shutdown()
+    profiler.disable()
+    yield
+    obs.reset_registry()
+    trace.shutdown()
+    profiler.disable()

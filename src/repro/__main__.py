@@ -30,6 +30,9 @@ Experiment, sweep and report commands accept engine flags:
 ``--nnz N``       per-matrix nonzero budget (overrides REPRO_SCALE_NNZ)
 ``--model M``     adapter timing model, ``fast`` or ``cycle``
 ``--quick``       tiny canary run (3 small matrices, 12k nonzeros)
+``--trace PATH``  write an NDJSON span trace of the run (also honoured
+                  by serve/corpus; ``REPRO_TRACE`` supplies a default;
+                  render it with ``tools/trace_summary.py``)
 
 ``sweep`` additionally accepts ``--backend K`` to pick the sweep
 backend kind (``adapter`` default, ``system``, ``multichannel``,
@@ -84,10 +87,12 @@ omitted.
 
 from __future__ import annotations
 
+import os
 import sys
 from dataclasses import dataclass
 from pathlib import Path
 
+from . import obs
 from .engine import SweepExecutor, grid_points, registered_kinds
 from .errors import ReproError
 from .experiments import format_table
@@ -112,6 +117,13 @@ class _Options:
     check: bool = False
     store: str | None = None
     out: str | None = None
+    trace: str | None = None
+
+
+def _trace_path(explicit: str | None) -> str | None:
+    """The NDJSON trace destination: ``--trace`` flag, then the
+    ``REPRO_TRACE`` environment knob, else tracing stays off."""
+    return explicit or os.environ.get("REPRO_TRACE") or None
 
 
 def _parse_flags(args: list[str]) -> tuple[list[str], _Options]:
@@ -126,13 +138,13 @@ def _parse_flags(args: list[str]) -> tuple[list[str], _Options]:
             opts.check = True
         elif arg in (
             "--workers", "--shards", "--nnz", "--model", "--backend",
-            "--store", "--out",
+            "--store", "--out", "--trace",
         ):
             try:
                 value = next(it)
             except StopIteration:
                 raise ReproError(f"{arg} needs a value") from None
-            if arg in ("--model", "--backend", "--store", "--out"):
+            if arg in ("--model", "--backend", "--store", "--out", "--trace"):
                 setattr(opts, arg[2:], value)
             elif arg == "--shards":
                 if value == "auto":
@@ -187,7 +199,7 @@ def _reject_backend_flag(command: str, opts: _Options) -> None:
 
 def _experiment_kwargs(name: str, opts: _Options) -> dict:
     if name in _PARAMLESS:
-        if opts != _Options():
+        if opts != _Options(trace=opts.trace):
             raise ReproError(
                 f"{name} has no matrix grid; engine flags do not apply"
             )
@@ -262,7 +274,7 @@ def _cmd_report(args: list[str], opts: _Options) -> int:
 
     store, out = _report_paths(mode, opts)
     if mode == "render":
-        if opts != _Options(store=opts.store, out=opts.out):
+        if opts != _Options(store=opts.store, out=opts.out, trace=opts.trace):
             raise ReproError(
                 "report render rewrites the document from the store alone; "
                 "only --store/--out apply"
@@ -364,6 +376,7 @@ def _cmd_serve(args: list[str]) -> int:
     workers: int | None = None
     shards: int | str | None = None
     store: str | None = None
+    trace: str | None = None
     cache = 128
     it = iter(args)
     for arg in it:
@@ -373,7 +386,10 @@ def _cmd_serve(args: list[str]) -> int:
         if arg == "--verbose":
             verbose = True
             continue
-        if arg not in ("--host", "--port", "--workers", "--shards", "--store", "--cache"):
+        if arg not in (
+            "--host", "--port", "--workers", "--shards", "--store",
+            "--cache", "--trace",
+        ):
             raise ReproError(f"serve does not understand {arg!r}")
         try:
             value = next(it)
@@ -383,6 +399,8 @@ def _cmd_serve(args: list[str]) -> int:
             host = value
         elif arg == "--store":
             store = value
+        elif arg == "--trace":
+            trace = value
         elif arg == "--port":
             port = integer(arg, value, 0)
         elif arg == "--workers":
@@ -392,18 +410,20 @@ def _cmd_serve(args: list[str]) -> int:
         elif arg == "--shards":
             shards = "auto" if value == "auto" else integer(arg, value, 1)
 
-    manager = JobManager(
-        executor=SweepExecutor(workers, shards=shards),
-        store_dir=store,
-        cache_size=cache,
-    )
-    if stdio:
-        try:
-            serve_stdio(manager)
-        finally:
-            manager.close()
-        return 0
-    return serve_http(manager, host=host, port=port, verbose=verbose)
+    obs.logging_setup(1 if verbose else 0)
+    with obs.tracing(_trace_path(trace), root="cli.serve"):
+        manager = JobManager(
+            executor=SweepExecutor(workers, shards=shards),
+            store_dir=store,
+            cache_size=cache,
+        )
+        if stdio:
+            try:
+                serve_stdio(manager)
+            finally:
+                manager.close()
+            return 0
+        return serve_http(manager, host=host, port=port, verbose=verbose)
 
 
 def _cmd_corpus(args: list[str]) -> int:
@@ -432,6 +452,7 @@ def _cmd_corpus(args: list[str]) -> int:
     positional: list[str] = []
     corpus_name: str | None = None
     store: str | None = None
+    trace: str | None = None
     cache_dir: str | None = None
     kind = "adapter"
     variants: str | None = None
@@ -455,7 +476,7 @@ def _cmd_corpus(args: list[str]) -> int:
             keep_going = True
         elif arg in (
             "--corpus", "--store", "--cache", "--kind", "--variants",
-            "--fmt", "--nnz", "--model", "--workers", "--shards",
+            "--fmt", "--nnz", "--model", "--workers", "--shards", "--trace",
         ):
             try:
                 value = next(it)
@@ -465,6 +486,8 @@ def _cmd_corpus(args: list[str]) -> int:
                 corpus_name = value
             elif arg == "--store":
                 store = value
+            elif arg == "--trace":
+                trace = value
             elif arg == "--cache":
                 cache_dir = value
             elif arg == "--kind":
@@ -519,12 +542,13 @@ def _cmd_corpus(args: list[str]) -> int:
     if mode == "check":
         if positional:
             raise ReproError(f"corpus check takes no positionals: {positional}")
-        drift = check_corpus(
-            Path(store) if store else FULL_STORE_DIR,
-            cache=cache,
-            executor=SweepExecutor(workers, shards=shards),
-            stream=sys.stdout,
-        )
+        with obs.tracing(_trace_path(trace), root="cli.corpus"):
+            drift = check_corpus(
+                Path(store) if store else FULL_STORE_DIR,
+                cache=cache,
+                executor=SweepExecutor(workers, shards=shards),
+                stream=sys.stdout,
+            )
         for line in drift:
             print(f"DRIFT: {line}")
         print("corpus tier matches a fresh run" if not drift
@@ -552,7 +576,8 @@ def _cmd_corpus(args: list[str]) -> int:
         claims=full,
         stream=sys.stdout,
     )
-    result = runner.run()
+    with obs.tracing(_trace_path(trace), root="cli.corpus"):
+        result = runner.run()
     print()
     print(format_table(result["rollup"]))
     if "claims" in result:
@@ -580,6 +605,7 @@ def main(argv: list[str] | None = None) -> int:
         print(__doc__)
         return 0
     command, *rest = argv
+    obs.logging_setup(0)
     try:
         if command == "serve":
             # serve owns its flag grammar (--port/--host/--stdio/...).
@@ -594,17 +620,18 @@ def main(argv: list[str] | None = None) -> int:
             # configuration while looking like a flagged invocation.
             raise ReproError(f"{command} takes no positional arguments: {args}")
         if command == "suite":
-            if opts != _Options():
+            if opts != _Options(trace=opts.trace):
                 raise ReproError("suite takes no flags")
             return _cmd_suite()
-        if command == "report":
-            return _cmd_report(args, opts)
-        if command in _RUNNERS:
-            return _cmd_experiment(command, opts)
-        if command == "stream" and len(args) == 2:
-            return _cmd_stream(args[0], args[1], opts)
-        if command == "sweep" and len(args) == 2:
-            return _cmd_sweep(args[0], args[1], opts)
+        with obs.tracing(_trace_path(opts.trace), root=f"cli.{command}"):
+            if command == "report":
+                return _cmd_report(args, opts)
+            if command in _RUNNERS:
+                return _cmd_experiment(command, opts)
+            if command == "stream" and len(args) == 2:
+                return _cmd_stream(args[0], args[1], opts)
+            if command == "sweep" and len(args) == 2:
+                return _cmd_sweep(args[0], args[1], opts)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

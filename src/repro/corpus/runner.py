@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
@@ -47,6 +48,7 @@ import numpy as np
 
 from ..engine import SweepExecutor, grid_points
 from ..errors import CorpusError, ReproError
+from ..obs import trace as obs_trace
 from ..report.claims import corpus_claim_tolerances, corpus_claim_verdicts
 from ..report.rollup import corpus_claim_summary, family_rollup
 from ..report.store import ResultStore
@@ -59,6 +61,8 @@ from ..sparse.corpus import (
     matrix_name,
 )
 from ..sparse.suite import DEFAULT_MAX_NNZ, SUITE_SEED
+
+logger = logging.getLogger(__name__)
 
 #: backend kinds a corpus can sweep.  ``system`` and ``strided`` are
 #: excluded: system sweeps need suite recipe metadata and strided
@@ -297,9 +301,19 @@ class CorpusRunner:
             return None
         try:
             payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+        except (OSError, json.JSONDecodeError) as exc:
+            logger.warning(
+                "corpus journal %s unreadable (%s); recomputing the group",
+                path.name,
+                exc,
+            )
             return None
         if payload.get("key") != key or not isinstance(payload.get("rows"), list):
+            logger.warning(
+                "corpus journal %s does not match its job key; recomputing "
+                "the group",
+                path.name,
+            )
             return None
         return payload["rows"]
 
@@ -373,46 +387,57 @@ class CorpusRunner:
         try:
             for entry in self.corpus.entries:
                 self.counts["corpus_groups"] += 1
-                try:
-                    engine_name, digest, nnz_slot = self._resolve(entry)
-                except ReproError as exc:
-                    self.counts["corpus_failed"] += 1
-                    self._note(f"  {entry.name}: FAILED ({exc})")
-                    if not self.keep_going:
-                        raise
-                    yield entry, "failed", []
-                    continue
-                key = self.group_key(entry, digest)
-                slug = self._slug(key)
-                rows = self._replay(slug, key) if slug in completed else None
-                if rows is not None:
-                    self.counts["corpus_skipped"] += 1
-                    self._note(f"  {entry.name}: skipped (journaled)")
-                    yield entry, "skipped", rows
-                    continue
-                try:
-                    points = grid_points(
-                        self.kind, (engine_name,), self.variants,
-                        (self.fmt,), nnz_slot, self.model,
-                    )
-                    rows = self._present(entry, self.executor.run(points))
-                except ReproError as exc:
-                    self.counts["corpus_failed"] += 1
-                    self._note(f"  {entry.name}: FAILED ({exc})")
-                    if not self.keep_going:
-                        raise
-                    yield entry, "failed", []
-                    continue
-                self._record_completed(slug, key, entry, rows)
-                self.counts["corpus_computed"] += 1
-                self._note(f"  {entry.name}: computed ({len(rows)} rows)")
-                if self.fault_hook is not None:
-                    self.fault_hook(self.counts["corpus_computed"])
-                yield entry, "computed", rows
+                # The span closes before the yield so consumer time
+                # (store writes, protocol framing) never pollutes the
+                # entry's attributed wall-time.
+                with obs_trace.span(
+                    "corpus.entry", entry=entry.name
+                ) as entry_span:
+                    status, rows = self._run_entry(entry, completed)
+                    entry_span.set(status=status, rows=len(rows))
+                yield entry, status, rows
         finally:
             if not counted:
                 counted = True
                 self.executor.add_stats(**self.counts)
+
+    def _run_entry(self, entry, completed: set[str]) -> tuple[str, list[dict]]:
+        """Resolve, replay-or-compute, and journal one corpus entry;
+        returns its ``(status, rows)``.  Non-``keep_going`` failures
+        propagate."""
+        try:
+            engine_name, digest, nnz_slot = self._resolve(entry)
+        except ReproError as exc:
+            self.counts["corpus_failed"] += 1
+            self._note(f"  {entry.name}: FAILED ({exc})")
+            if not self.keep_going:
+                raise
+            return "failed", []
+        key = self.group_key(entry, digest)
+        slug = self._slug(key)
+        rows = self._replay(slug, key) if slug in completed else None
+        if rows is not None:
+            self.counts["corpus_skipped"] += 1
+            self._note(f"  {entry.name}: skipped (journaled)")
+            return "skipped", rows
+        try:
+            points = grid_points(
+                self.kind, (engine_name,), self.variants,
+                (self.fmt,), nnz_slot, self.model,
+            )
+            rows = self._present(entry, self.executor.run(points))
+        except ReproError as exc:
+            self.counts["corpus_failed"] += 1
+            self._note(f"  {entry.name}: FAILED ({exc})")
+            if not self.keep_going:
+                raise
+            return "failed", []
+        self._record_completed(slug, key, entry, rows)
+        self.counts["corpus_computed"] += 1
+        self._note(f"  {entry.name}: computed ({len(rows)} rows)")
+        if self.fault_hook is not None:
+            self.fault_hook(self.counts["corpus_computed"])
+        return "computed", rows
 
     def run(self) -> dict:
         """Execute (or resume) the whole corpus; persist tier tables.
@@ -424,6 +449,14 @@ class CorpusRunner:
         — all byte-stable across serial/pooled/sharded/resumed runs of
         the same configuration.
         """
+        with obs_trace.span(
+            "corpus.run",
+            corpus=self.corpus.name,
+            entries=len(self.corpus.entries),
+        ):
+            return self._run()
+
+    def _run(self) -> dict:
         self._note(
             f"corpus {self.corpus.name!r}: {len(self.corpus.entries)} entries, "
             f"kind={self.kind}, variants={','.join(self.variants)}"
@@ -459,33 +492,34 @@ class CorpusRunner:
                 f"corpus {self.corpus.name!r} produced no rows "
                 f"({self.counts['corpus_failed']} entries failed)"
             )
-        rollup = family_rollup(all_rows)
-        result: dict = {
-            "rows": all_rows,
-            "rollup": rollup,
-            "summary": corpus_claim_summary(all_rows),
-            "counts": dict(self.counts),
-        }
-        if self.claims:
-            result["claims"] = corpus_claim_verdicts(result["summary"])
-        if self.store is not None:
-            tables = [f"corpus_{self.kind}", "corpus_rollup"]
-            self.store.write_table(f"corpus_{self.kind}", all_rows)
-            self.store.write_table("corpus_rollup", rollup)
-            if self.claims:
-                self.store.write_table("corpus_claims", result["claims"])
-                tables.append("corpus_claims")
-            manifest = {
-                **self._manifest_base(),
-                "completed": completed_slugs,
-                "complete": True,
-                "entries": entry_records,
-                "tables": sorted(tables),
-                "summary": result["summary"],
+        with obs_trace.span("corpus.finalize", rows=len(all_rows)):
+            rollup = family_rollup(all_rows)
+            result: dict = {
+                "rows": all_rows,
+                "rollup": rollup,
+                "summary": corpus_claim_summary(all_rows),
+                "counts": dict(self.counts),
             }
             if self.claims:
-                manifest["tolerances"] = corpus_claim_tolerances()
-            self.store.write_manifest(manifest)
+                result["claims"] = corpus_claim_verdicts(result["summary"])
+            if self.store is not None:
+                tables = [f"corpus_{self.kind}", "corpus_rollup"]
+                self.store.write_table(f"corpus_{self.kind}", all_rows)
+                self.store.write_table("corpus_rollup", rollup)
+                if self.claims:
+                    self.store.write_table("corpus_claims", result["claims"])
+                    tables.append("corpus_claims")
+                manifest = {
+                    **self._manifest_base(),
+                    "completed": completed_slugs,
+                    "complete": True,
+                    "entries": entry_records,
+                    "tables": sorted(tables),
+                    "summary": result["summary"],
+                }
+                if self.claims:
+                    manifest["tolerances"] = corpus_claim_tolerances()
+                self.store.write_manifest(manifest)
         self._note(
             "  done: {corpus_computed} computed, {corpus_skipped} skipped, "
             "{corpus_failed} failed".format(**self.counts)

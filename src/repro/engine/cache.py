@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..axipack.fastmodel import StreamAnalysis, analyze_stream
+from ..obs import trace as obs_trace
 from ..axipack.streams import matrix_index_stream
 from ..sparse import corpus as corpus_io
 from ..sparse.csr import CsrMatrix
@@ -151,13 +152,13 @@ class AnalysisCache:
         """
         key = (name, fmt, max_nnz, elements_per_block, chunk)
         if not self._count(self._analyses, key):
-            self._put(
-                self._analyses,
-                key,
-                analyze_stream(
+            with obs_trace.span(
+                "cache.analysis", matrix=name, fmt=fmt, chunk=str(chunk)
+            ):
+                value = analyze_stream(
                     self.stream(name, fmt, max_nnz, chunk), elements_per_block
-                ),
-            )
+                )
+            self._put(self._analyses, key, value)
         return self._analyses[key]
 
     def layout_stats(self, name: str, fmt: str, max_nnz: int) -> dict:

@@ -43,15 +43,21 @@ into every cache key.
 
 from __future__ import annotations
 
+import logging
 import os
 from concurrent.futures import FIRST_COMPLETED, wait
 from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
 from typing import Iterator, Sequence
 
+from .. import obs
 from ..errors import ExperimentError
+from ..obs import profiler as obs_profiler
+from ..obs import trace as obs_trace
 from .backends import ShardTask, get_backend
 from .cache import AnalysisCache
 from .points import SweepPoint
+
+logger = logging.getLogger(__name__)
 
 #: per-process cache: the serial executor and every pool worker reuse
 #: matrix artifacts across all the shard tasks they run.
@@ -126,18 +132,40 @@ def resolve_shards(shards: int | str | None, workers: int) -> int:
     return value
 
 
-def _run_shard_task(task: ShardTask) -> tuple[object, dict[str, int]]:
+def _init_worker(config: dict) -> None:
+    """Pool initializer: seed worker-local telemetry state.
+
+    Runs unconditionally in every worker so fork-inherited tracer state
+    (the parent's open NDJSON sink) is always replaced.
+    """
+    obs.seed_worker(config)
+
+
+def _run_shard_task(
+    task: ShardTask,
+) -> tuple[object, dict[str, int], list[dict], dict]:
     """One pool task: evaluate a shard through its backend.
 
-    Returns the backend payload plus the cache hit/miss/eviction delta
-    this task incurred (workers own private caches, so deltas travel
-    back with the payload for the executor to aggregate).
+    Returns the backend payload, the cache hit/miss/eviction delta this
+    task incurred, and — in pool workers with telemetry on — the spans
+    and profiler bins buffered during the task.  Workers own private
+    caches/tracers/profilers, so all three travel back with the payload
+    for the executor to aggregate; in-process (serial) runs feed the
+    global tracer/profiler directly and ship empties.
     """
     backend = get_backend(task.group_key[0])
     before = _PROCESS_CACHE.counters()
-    payload = backend.run_shard(task, _PROCESS_CACHE)
+    with obs_trace.span(
+        "engine.shard",
+        backend=task.group_key[0],
+        variants=len(task.variants),
+        chunk=str(task.chunk),
+    ):
+        payload = backend.run_shard(task, _PROCESS_CACHE)
     after = _PROCESS_CACHE.counters()
-    return payload, {key: after[key] - before[key] for key in after}
+    delta = {key: after[key] - before[key] for key in after}
+    spans, bins = obs.drain_worker_telemetry()
+    return payload, delta, spans, bins
 
 
 def _task_weight(task: ShardTask) -> float:
@@ -209,15 +237,31 @@ class SweepExecutor:
     # -- pool lifecycle ----------------------------------------------------
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
-        """The persistent pool, spawning it on first pooled use."""
+        """The persistent pool, spawning it on first pooled use.
+
+        Workers are initialized with the parent's telemetry snapshot
+        (:func:`repro.obs.worker_config`), so a pool spawned under an
+        active ``--trace`` buffers worker spans for ship-back.
+        """
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(obs.worker_config(),),
+            )
             self.stats["pool_spawns"] += 1
+            obs.get_registry().inc(
+                obs.names.stat_metric("pool_spawns"),
+                help="process pools spawned",
+            )
         return self._pool
 
     def _respawn_pool(self) -> ProcessPoolExecutor:
         """Fallback for a pool that died mid-run: drop it, spawn fresh."""
         if self._pool is not None:
+            logger.warning(
+                "respawning broken process pool (workers=%d)", self.workers
+            )
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
         return self._ensure_pool()
@@ -267,7 +311,7 @@ class SweepExecutor:
 
     def _pooled_outcomes(
         self, tasks: list[ShardTask]
-    ) -> Iterator[tuple[int, tuple[object, dict[str, int]]]]:
+    ) -> Iterator[tuple[int, tuple]]:
         """Yield ``(task index, outcome)`` as shard tasks complete.
 
         Tasks are submitted largest-first (:func:`_task_weight`; ties
@@ -296,6 +340,11 @@ class SweepExecutor:
                         done.add(index)
                 return
             except BrokenProcessPool:
+                logger.warning(
+                    "process pool broke mid-run; retrying %d unfinished "
+                    "shard task(s)",
+                    len(tasks) - len(done),
+                )
                 self._respawn_pool()
                 if attempt == 2:
                     raise
@@ -329,14 +378,21 @@ class SweepExecutor:
                 task_group[index] = key
 
         if self.workers == 1 or len(tasks) <= 1:
-            completions: Iterator[tuple[int, tuple[object, dict[str, int]]]] = (
+            completions: Iterator[tuple[int, tuple]] = (
                 (index, _run_shard_task(task)) for index, task in enumerate(tasks)
             )
         else:
             completions = self._pooled_outcomes(tasks)
 
         for index, outcome in completions:
-            outcomes[index] = outcome
+            payload, delta, spans, bins = outcome
+            if spans:
+                obs.adopt_spans(spans)
+            if bins:
+                profiler = obs_profiler.active()
+                if profiler is not None:
+                    profiler.merge(bins)
+            outcomes[index] = (payload, delta)
             key = task_group[index]
             remaining[key] -= 1
             if remaining[key]:
@@ -360,6 +416,7 @@ class SweepExecutor:
         }
         for key, value in self.last_stats.items():
             self.stats[key] += value
+        obs.inc_stats(self.last_stats, help="engine sweep counters")
 
     def run(self, points: Sequence[SweepPoint]) -> list[dict]:
         """Evaluate every point; one result row per point, input order.
@@ -378,9 +435,13 @@ class SweepExecutor:
         one never aliases another.
         """
         by_key: dict[tuple, dict] = {}
-        for key, variants, rows in self.run_stream(points):
-            for variant, row in zip(variants, rows):
-                by_key[(*key, variant)] = row
+        with obs_trace.span(
+            "engine.run", points=len(points), workers=self.workers
+        ) as run_span:
+            for key, variants, rows in self.run_stream(points):
+                for variant, row in zip(variants, rows):
+                    by_key[(*key, variant)] = row
+            run_span.set(**self.last_stats)
         return [dict(by_key[point.row_key]) for point in points]
 
     def add_stats(self, **counters: int) -> None:
@@ -396,3 +457,4 @@ class SweepExecutor:
         for key, value in counters.items():
             self.last_stats[key] = self.last_stats.get(key, 0) + int(value)
             self.stats[key] = self.stats.get(key, 0) + int(value)
+        obs.inc_stats(counters, help="driver-reported counters")

@@ -1,0 +1,42 @@
+"""Stdlib logging wiring for the ``repro`` package.
+
+Every ``src/repro`` module takes its logger the usual way::
+
+    logger = logging.getLogger(__name__)
+
+and stays silent until :func:`logging_setup` attaches a handler to the
+``"repro"`` root.  Verbosity maps 0 → WARNING (operational anomalies
+only: pool respawns, journal-corruption recomputes, leader failures),
+1 → INFO, 2+ → DEBUG.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_FORMAT = "%(asctime)s %(levelname)s %(name)s: %(message)s"
+
+_LEVELS = {0: logging.WARNING, 1: logging.INFO}
+
+
+def logging_setup(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger tree and return its root.
+
+    Idempotent: reconfigures the existing handler's level/stream rather
+    than stacking handlers on repeated calls (serve restarts, tests).
+    """
+    level = _LEVELS.get(verbosity, logging.DEBUG)
+    root = logging.getLogger("repro")
+    root.setLevel(level)
+    root.propagate = False
+    for handler in root.handlers:
+        if isinstance(handler, logging.StreamHandler):
+            handler.setLevel(level)
+            if stream is not None:
+                handler.setStream(stream)
+            return root
+    handler = logging.StreamHandler(stream)
+    handler.setLevel(level)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    root.addHandler(handler)
+    return root

@@ -1,0 +1,94 @@
+"""Canonical telemetry names: stat-counter keys and metric names.
+
+Every layer of the system tallies counters into plain dicts — the
+executor's ``last_stats``/``stats``, the corpus runner's tallies folded
+in via :meth:`SweepExecutor.add_stats`, the :class:`JobManager` layer
+stats — and those spellings leak into committed artifacts: the report
+manifest records engine cache totals, the corpus manifest is
+byte-compared by ``corpus check``, and ``/stats`` is a wire schema.
+This module pins the canonical spellings **once** so they can never
+drift (``corpus_groups`` is a corpus tally, ``groups`` is an engine
+tally — they are different counters, not two spellings of one).
+
+``tests/test_obs.py`` asserts that every producer emits exactly these
+keys, and :func:`stat_metric` maps each stat key to its Prometheus
+metric name so the ``/metrics`` exposition and the dict counters can
+never disagree about what a number means.
+"""
+
+from __future__ import annotations
+
+#: Per-run executor stats (``SweepExecutor.last_stats`` after a run).
+ENGINE_RUN_STATS = (
+    "groups",
+    "tasks",
+    "cache_hits",
+    "cache_misses",
+    "cache_evictions",
+)
+
+#: Accumulated executor totals (``SweepExecutor.stats``) — the run
+#: stats plus pool lifecycle counters.
+ENGINE_TOTAL_STATS = ENGINE_RUN_STATS + ("pool_spawns",)
+
+#: Corpus-runner tallies folded into executor stats via ``add_stats``.
+#: Deliberately ``corpus_``-prefixed: they count corpus entries, not
+#: engine matrix groups, and share the executor's stat surface.
+CORPUS_STATS = (
+    "corpus_groups",
+    "corpus_computed",
+    "corpus_skipped",
+    "corpus_failed",
+)
+
+#: ``JobManager.stats`` — the serve layer's request counters.
+SERVE_STATS = (
+    "requests",
+    "computed",
+    "response_hits",
+    "store_hits",
+    "coalesced",
+    "response_evictions",
+    "errors",
+)
+
+#: ``AnalysisCache.counters()`` delta keys shipped back per shard task.
+CACHE_DELTA_KEYS = ("hits", "misses", "evictions")
+
+#: Prometheus metric name for every canonical stat key.  Counters not
+#: listed here (``add_stats`` accepts arbitrary driver tallies) fall
+#: back to ``repro_engine_<key>_total`` via :func:`stat_metric`.
+STAT_METRICS = {
+    "groups": "repro_engine_groups_total",
+    "tasks": "repro_engine_tasks_total",
+    "cache_hits": "repro_engine_cache_hits_total",
+    "cache_misses": "repro_engine_cache_misses_total",
+    "cache_evictions": "repro_engine_cache_evictions_total",
+    "pool_spawns": "repro_engine_pool_spawns_total",
+    "corpus_groups": "repro_corpus_groups_total",
+    "corpus_computed": "repro_corpus_computed_total",
+    "corpus_skipped": "repro_corpus_skipped_total",
+    "corpus_failed": "repro_corpus_failed_total",
+    "requests": "repro_serve_requests_total",
+    "computed": "repro_serve_computed_total",
+    "response_hits": "repro_serve_response_hits_total",
+    "store_hits": "repro_serve_store_hits_total",
+    "coalesced": "repro_serve_coalesced_total",
+    "response_evictions": "repro_serve_response_evictions_total",
+    "errors": "repro_serve_errors_total",
+}
+
+#: Serve request latency histogram.
+SERVE_REQUEST_SECONDS = "repro_serve_request_seconds"
+
+#: Gauges refreshed when ``/metrics`` is scraped.
+SERVE_RESPONSE_CACHE_ENTRIES = "repro_serve_response_cache_entries"
+ENGINE_WORKERS = "repro_engine_workers"
+
+#: Span counter (one increment per span written to the trace sink).
+TRACE_SPANS_TOTAL = "repro_trace_spans_total"
+
+
+def stat_metric(key: str) -> str:
+    """The Prometheus counter name for one stat-dict key."""
+    return STAT_METRICS.get(key, f"repro_engine_{key}_total")

@@ -20,6 +20,7 @@ from pathlib import Path
 
 from ..engine import SweepExecutor, resolve_shards, workers_from_env
 from ..errors import ExperimentError
+from ..obs import trace as obs_trace
 from ..experiments import (
     adapter_model_from_env,
     run_fig3,
@@ -151,7 +152,9 @@ def run_report(
         for name in names:
             t0 = time.time()
             stats_before = dict(executor.stats)
-            result = RUNNERS[name](**_runner_kwargs(name, config, executor))
+            with obs_trace.span("report.experiment", name=name) as espan:
+                result = RUNNERS[name](**_runner_kwargs(name, config, executor))
+                espan.set(rows=len(result["rows"]))
             results[name] = result
             store.write_table(name, result["rows"])
             recorded[name] = {

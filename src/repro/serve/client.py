@@ -100,6 +100,12 @@ class ServeClient:
         """The server's ``GET /stats`` payload (job + engine layers)."""
         return self._get_json("/stats")
 
+    def metrics(self) -> str:
+        """The server's ``GET /metrics`` body — Prometheus text
+        exposition of every layer's counters, gauges and histograms."""
+        with self._request("/metrics") as response:
+            return response.read().decode()
+
     # -- jobs --------------------------------------------------------------
 
     def stream(self, payload: dict, path: str | None = None):

@@ -34,6 +34,7 @@ engine.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from collections import OrderedDict
@@ -41,6 +42,9 @@ from pathlib import Path
 
 from ..engine import SweepExecutor
 from ..errors import ExperimentError, ReproError
+from ..obs import metrics as obs_metrics
+from ..obs import names as obs_names
+from ..obs import trace as obs_trace
 from ..report.runner import DEFAULT_STORE_DIR, RUNNERS
 from ..report.store import ResultStore
 from .protocol import (
@@ -50,6 +54,8 @@ from .protocol import (
     SweepRequest,
     canonicalize,
 )
+
+logger = logging.getLogger(__name__)
 
 
 class _Job:
@@ -139,29 +145,64 @@ class JobManager:
         completion order; each row is self-describing).  Raises
         :class:`~repro.errors.ReproError` subclasses on bad requests
         or failed computations, after counting the error.
+
+        With tracing enabled the whole request runs under a
+        ``serve.request`` span whose trace id is echoed in the
+        ``accepted`` and ``done`` events, so a client can join its
+        response to the server-side trace; request latency is always
+        recorded in the :data:`~repro.obs.names.SERVE_REQUEST_SECONDS`
+        histogram, labeled by the answering layer.
         """
-        try:
-            request = canonicalize(payload)
-            yield from self._stream_request(request)
-        except ReproError:
-            with self._lock:
-                self.stats["errors"] += 1
-            raise
+        started = time.perf_counter()
+        source = "error"
+        with obs_trace.span("serve.request") as span:
+            try:
+                request = canonicalize(payload)
+                span.set(kind=type(request).__name__)
+                trace_id = obs_trace.current_trace_id()
+                for event in self._stream_request(request):
+                    if event["event"] == "done":
+                        source = event["source"]
+                    if trace_id is not None and event["event"] in (
+                        "accepted",
+                        "done",
+                    ):
+                        event = {**event, "trace": trace_id}
+                    yield event
+            except ReproError:
+                with self._lock:
+                    self._count("errors")
+                raise
+            finally:
+                obs_metrics.get_registry().observe(
+                    obs_names.SERVE_REQUEST_SECONDS,
+                    time.perf_counter() - started,
+                    help="serve request latency by answering layer",
+                    source=source,
+                )
 
     def close(self) -> None:
         """Release the engine's persistent pool."""
         self.executor.close()
+
+    def _count(self, name: str, value: int = 1) -> None:
+        """Bump one layer counter (caller holds ``_lock``) and mirror
+        it into the metrics registry under its canonical name."""
+        self.stats[name] += value
+        obs_metrics.get_registry().inc(
+            obs_names.stat_metric(name), value, help="serve layer counters"
+        )
 
     # -- layers ------------------------------------------------------------
 
     def _stream_request(self, request: Request):
         key = request.job_key
         with self._lock:
-            self.stats["requests"] += 1
+            self._count("requests")
             cached = self._responses.get(key)
             if cached is not None:
                 self._responses.move_to_end(key)
-                self.stats["response_hits"] += 1
+                self._count("response_hits")
         if cached is not None:
             yield from self._replay(key, "cache", cached)
             return
@@ -169,7 +210,7 @@ class JobManager:
         stored = self._store_lookup(request)
         if stored is not None:
             with self._lock:
-                self.stats["store_hits"] += 1
+                self._count("store_hits")
             self._remember(key, stored)
             yield from self._replay(key, "store", stored)
             return
@@ -181,7 +222,7 @@ class JobManager:
                 job = _Job(key)
                 self._inflight[key] = job
             else:
-                self.stats["coalesced"] += 1
+                self._count("coalesced")
 
         if not leader:
             job.done.wait()
@@ -202,11 +243,14 @@ class JobManager:
                     yield {"event": "rows", "rows": [dict(r) for r in chunk]}
             job.rows = rows
             with self._lock:
-                self.stats["computed"] += 1
+                self._count("computed")
             self._remember(key, rows)
             yield {"event": "done", "source": "computed", "row_count": len(rows)}
         except BaseException as exc:
             job.error = exc
+            logger.warning(
+                "single-flight leader failed for job %s: %s", key, exc
+            )
             raise
         finally:
             job.done.set()
@@ -224,7 +268,7 @@ class JobManager:
             self._responses.move_to_end(key)
             while len(self._responses) > self.cache_size:
                 self._responses.popitem(last=False)
-                self.stats["response_evictions"] += 1
+                self._count("response_evictions")
 
     # -- computation -------------------------------------------------------
 

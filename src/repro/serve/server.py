@@ -29,6 +29,9 @@ import sys
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..errors import ReproError, ServeError
+from ..obs import metrics as obs_metrics
+from ..obs import names as obs_names
+from ..obs import trace as obs_trace
 from .jobs import JobManager
 from .protocol import json_default
 
@@ -68,6 +71,15 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
             self._respond_json(200, {"ok": True})
         elif self.path == "/stats":
             self._respond_json(200, service_stats(self.manager))
+        elif self.path == "/metrics":
+            body = render_metrics(self.manager).encode()
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
         else:
             self._respond_json(404, {"event": "error", "error": f"no route {self.path}"})
 
@@ -117,8 +129,40 @@ class ReproServer(ThreadingHTTPServer):
         self.verbose = verbose
 
 
+def _refresh_gauges(manager: JobManager) -> None:
+    """Bring scrape-time gauges up to date in the default registry."""
+    registry = obs_metrics.get_registry()
+    registry.set_gauge(
+        obs_names.ENGINE_WORKERS,
+        manager.executor.workers,
+        help="engine worker processes",
+    )
+    registry.set_gauge(
+        obs_names.SERVE_RESPONSE_CACHE_ENTRIES,
+        len(manager._responses),
+        help="response cache entries",
+    )
+    tracer = obs_trace.get_tracer()
+    if tracer is not None:
+        registry.set_gauge(
+            obs_names.TRACE_SPANS_TOTAL,
+            tracer.spans_written,
+            help="spans written to the trace sink",
+        )
+
+
+def render_metrics(manager: JobManager) -> str:
+    """The ``GET /metrics`` body: Prometheus text exposition of the
+    default registry, with scrape-time gauges refreshed first."""
+    _refresh_gauges(manager)
+    return obs_metrics.get_registry().render()
+
+
 def service_stats(manager: JobManager) -> dict:
-    """The ``/stats`` payload: job layers + engine totals."""
+    """The ``/stats`` payload: job layers + engine totals, plus the
+    active trace id (if the server runs under ``--trace``) and a
+    JSON snapshot of the metrics registry."""
+    _refresh_gauges(manager)
     return {
         "jobs": dict(manager.stats),
         "engine": dict(manager.executor.stats),
@@ -126,6 +170,8 @@ def service_stats(manager: JobManager) -> dict:
         "workers": manager.executor.workers,
         "shards": manager.executor.shards,
         "response_cache_size": manager.cache_size,
+        "trace": obs_trace.current_trace_id(),
+        "metrics": obs_metrics.get_registry().snapshot(),
     }
 
 

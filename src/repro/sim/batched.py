@@ -44,6 +44,7 @@ from __future__ import annotations
 from typing import Callable
 
 from ..errors import BudgetExceededError, DeadlockError
+from ..obs import profiler as obs_profiler
 from .clock import Simulator
 from .component import FAR_FUTURE
 from .fifo import Fifo
@@ -84,6 +85,11 @@ class BatchedEngine:
         self._saved: list[tuple[Fifo, list[Fifo] | None]] = []
         #: wake hooks installed at attach, suspended while fused.
         self._wake_hooks: list[tuple[Fifo, tuple]] = []
+        #: cycle-attribution bins (None = profiling off).  Bins are
+        #: charged at exactly the points where ``synced`` moves, so per
+        #: component they sum to the cycles this run elapses — the
+        #: exactness contract ``tests/test_obs.py`` pins.
+        self.profiler = obs_profiler.active()
 
     # -- wiring ----------------------------------------------------------
 
@@ -143,11 +149,14 @@ class BatchedEngine:
         # Catch every component up to the global clock so its state —
         # pure time counters included — is exactly what the step engine
         # would hold at this cycle.
+        profiler = self.profiler
         for pos, comp in enumerate(self.components):
             lag = sim.cycle - self.synced[pos]
             if lag > 0:
                 comp.advance(lag)
                 self.synced[pos] = sim.cycle
+                if profiler is not None:
+                    profiler.add(comp.name, "advance", lag)
             comp.cycle = sim.cycle
             comp._engine = None
             comp._engine_pos = -1
@@ -246,10 +255,14 @@ class BatchedEngine:
                     if lag > 0:
                         comp.advance(lag)
                         synced[solo] = cycle
+                        if self.profiler is not None:
+                            self.profiler.add(comp.name, "advance", lag)
                     comp.cycle = cycle
                     span = comp.max_bulk(limit)
                     if span > 1:
                         comp.bulk_tick(span)
+                        if self.profiler is not None:
+                            self.profiler.add(comp.name, "bulk", span)
                         end = cycle + span
                         comp.cycle = end
                         synced[solo] = end
@@ -307,6 +320,7 @@ class BatchedEngine:
         horizon = sim.deadlock_horizon
         ops = sim._ops
         dirty = self.dirty
+        entry = sim.cycle
         for fifo, _hook in self._wake_hooks:
             fifo._wake = None
         self._pos = len(comps)
@@ -359,7 +373,19 @@ class BatchedEngine:
         finally:
             after = sim.cycle
             synced = self.synced
+            profiler = self.profiler
             for pos in range(len(comps)):
+                if profiler is not None:
+                    # A component that was not due on the entry cycle
+                    # arrives with a 1-cycle sync gap the fused loop
+                    # absorbs; charge it as replay, and the fused
+                    # cycles themselves as ticks, so the bins still sum
+                    # to exactly the cycles this component elapsed.
+                    gap = entry - synced[pos]
+                    if gap > 0:
+                        profiler.add(comps[pos].name, "advance", gap)
+                    if after > entry:
+                        profiler.add(comps[pos].name, "tick", after - entry)
                 synced[pos] = after
             for fifo, hook in self._wake_hooks:
                 fifo._wake = hook
@@ -369,6 +395,7 @@ class BatchedEngine:
         the number of components ticked (the fuse heuristic input)."""
         due = self.due
         synced = self.synced
+        profiler = self.profiler
         self._now = cycle
         after = cycle + 1
         ticked = 0
@@ -384,6 +411,8 @@ class BatchedEngine:
             if lag > 0:
                 comp.advance(lag)
                 synced[pos] = cycle
+                if profiler is not None:
+                    profiler.add(comp.name, "advance", lag)
         for pos, comp in enumerate(self.components):
             if due[pos] <= cycle:
                 ticked += 1
@@ -392,6 +421,8 @@ class BatchedEngine:
                 comp.tick()
                 comp.cycle = after
                 synced[pos] = after
+                if profiler is not None:
+                    profiler.add(comp.name, "tick", 1)
                 nxt = comp.next_event()
                 # next_event sees post-tick state, so it supersedes any
                 # same-cycle wakes this component received mid-pass.

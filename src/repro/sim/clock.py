@@ -6,6 +6,7 @@ import os
 from typing import Callable, Iterable
 
 from ..errors import BudgetExceededError, ConfigError, DeadlockError
+from ..obs import profiler as obs_profiler
 from .component import Component
 
 ENGINES = ("step", "batched")
@@ -80,28 +81,42 @@ class Simulator:
         return self._ops[0]
 
     def step(self, cycles: int = 1) -> None:
-        """Advance the simulation by ``cycles`` cycles."""
+        """Advance the simulation by ``cycles`` cycles.
+
+        With the cycle profiler enabled (:func:`repro.obs.profiled`),
+        every executed cycle is charged as one ``tick`` per component —
+        including the cycle that trips the deadlock detector, so the
+        bins stay exact on the error path too.
+        """
         ops = self._ops
-        for _ in range(cycles):
-            activity_before = ops[0]
-            for component in self.components:
-                component.tick()
-            for component in self.components:
-                component.commit()
-            self.cycle += 1
-            if ops[0] == activity_before:
-                self._idle_cycles += 1
-                if (
-                    self._idle_cycles >= self.deadlock_horizon
-                    and any(c.busy for c in self.components)
-                ):
-                    busy = [c.name for c in self.components if c.busy]
-                    raise DeadlockError(
-                        f"no progress for {self._idle_cycles} cycles; "
-                        f"busy components: {busy}"
-                    )
-            else:
-                self._idle_cycles = 0
+        profiler = obs_profiler.active()
+        executed = 0
+        try:
+            for _ in range(cycles):
+                activity_before = ops[0]
+                for component in self.components:
+                    component.tick()
+                for component in self.components:
+                    component.commit()
+                self.cycle += 1
+                executed += 1
+                if ops[0] == activity_before:
+                    self._idle_cycles += 1
+                    if (
+                        self._idle_cycles >= self.deadlock_horizon
+                        and any(c.busy for c in self.components)
+                    ):
+                        busy = [c.name for c in self.components if c.busy]
+                        raise DeadlockError(
+                            f"no progress for {self._idle_cycles} cycles; "
+                            f"busy components: {busy}"
+                        )
+                else:
+                    self._idle_cycles = 0
+        finally:
+            if profiler is not None and executed:
+                for component in self.components:
+                    profiler.add(component.name, "tick", executed)
 
     def run_until(
         self,

@@ -86,6 +86,12 @@ class Component:
         skipped; the contract is that the skipped ticks would not have
         touched FIFOs or any state other than what ``advance``
         reproduces.  Default: nothing to replay.
+
+        Telemetry: with the cycle profiler on
+        (:func:`repro.obs.profiled`), replayed cycles are charged to
+        this component's ``advance`` bin, per-cycle ticks to ``tick``
+        and bulk spans to ``bulk`` — the three bins always sum to the
+        cycles the component elapsed, on either engine.
         """
 
     def set_bulk(self, enabled: bool) -> None:

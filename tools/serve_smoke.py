@@ -81,13 +81,28 @@ def main() -> int:
             assert sorted(result["rows"], key=str) == sorted(rows, key=str)
         stats = client.stats()
         assert stats["jobs"]["response_hits"] >= 2, stats["jobs"]
+        assert "trace" in stats and "metrics" in stats, sorted(stats)
+
+        # The Prometheus exposition must carry at least one counter
+        # from each layer: the serve front end and the engine that
+        # computed the first sweep behind it.
+        exposition = client.metrics()
+        for needle in (
+            "# TYPE repro_serve_requests_total counter",
+            "repro_serve_requests_total ",
+            "repro_serve_response_hits_total ",
+            "repro_engine_groups_total ",
+            "# TYPE repro_serve_request_seconds histogram",
+            "repro_engine_workers 1",
+        ):
+            assert needle in exposition, f"{needle!r} missing from /metrics"
 
         server.send_signal(signal.SIGTERM)
         code = server.wait(timeout=SHUTDOWN_TIMEOUT_S)
         assert code == 0, f"server exited {code}; stderr: {server.stderr.read()}"
         print(
             f"serve smoke OK: computed -> client memo -> server cache "
-            f"({len(rows)} rows), clean SIGTERM exit"
+            f"({len(rows)} rows), /metrics exposed, clean SIGTERM exit"
         )
         return 0
     finally:
